@@ -1,0 +1,35 @@
+#pragma once
+// Shared helpers for the figure-regeneration harnesses. Each bench binary
+// reproduces one table or figure from the paper: it prints the same rows /
+// series the paper reports (values in our simulator's units), plus compact
+// ASCII charts so the *shape* is visible in the terminal.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "core/timeseries.hpp"
+
+namespace ecnd::bench {
+
+inline void banner(const std::string& title, const std::string& paper_claim) {
+  std::cout << "\n==== " << title << " ====\n";
+  std::cout << "Paper: " << paper_claim << "\n\n";
+}
+
+/// Render a time series as a one-line sparkline plus summary numbers.
+inline std::string shape_line(const TimeSeries& series, double t0, double t1,
+                              double scale = 1e-3) {
+  const TimeSeries rs = series.resampled(64);
+  std::vector<double> values;
+  values.reserve(rs.size());
+  for (const auto& s : rs.samples()) values.push_back(s.value);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  mean=%8.1f std=%8.1f min=%8.1f max=%8.1f",
+                series.mean_over(t0, t1) * scale, series.stddev_over(t0, t1) * scale,
+                series.min_over(t0, t1) * scale, series.max_over(t0, t1) * scale);
+  return sparkline(values) + buf;
+}
+
+}  // namespace ecnd::bench

@@ -1,0 +1,73 @@
+// Figure 2: DCQCN fluid model vs packet-level simulation.
+//
+// The paper validates its (extended, per-flow) DCQCN fluid model against
+// ns-3 for N senders -> one switch -> one receiver, all at the [31] default
+// parameters, flows starting at line rate. We regenerate both sides with our
+// own DDE integrator and packet simulator and print queue/rate agreement.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "control/dcqcn_analysis.hpp"
+#include "exp/scenarios.hpp"
+#include "fluid/dcqcn_model.hpp"
+#include "fluid/fluid_model.hpp"
+
+using namespace ecnd;
+
+int main() {
+  bench::banner("Figure 2 - DCQCN fluid model vs packet-level simulation",
+                "fluid model and simulator are in good agreement (N=2, N=10)");
+
+  Table table({"N", "layer", "queue mean (KB)", "queue std (KB)",
+               "flow0 rate (Gb/s)", "fair share (Gb/s)"});
+
+  for (int n : {2, 10}) {
+    const double duration = 0.06;
+    const double t0 = 0.035, t1 = 0.06;
+
+    fluid::DcqcnFluidParams fluid_params;
+    fluid_params.num_flows = n;
+    fluid_params.feedback_delay = 4e-6;
+    fluid::DcqcnFluidModel model(fluid_params);
+    const fluid::FluidRun fluid_run = fluid::simulate(model, duration, 1e-4);
+
+    exp::LongFlowConfig sim_config;
+    sim_config.protocol = exp::Protocol::kDcqcn;
+    sim_config.flows = n;
+    sim_config.duration_s = duration;
+    const exp::LongFlowResult sim_run = exp::run_long_flows(sim_config);
+
+    table.row()
+        .cell(n)
+        .cell("fluid")
+        .cell(fluid_run.queue_bytes.mean_over(t0, t1) / 1e3, 1)
+        .cell(fluid_run.queue_bytes.stddev_over(t0, t1) / 1e3, 1)
+        .cell(fluid_run.flow_rate_gbps[0].mean_over(t0, t1), 2)
+        .cell(10.0 / n, 2);
+    table.row()
+        .cell(n)
+        .cell("packet")
+        .cell(sim_run.queue_bytes.mean_over(t0, t1) / 1e3, 1)
+        .cell(sim_run.queue_bytes.stddev_over(t0, t1) / 1e3, 1)
+        .cell(sim_run.rate_gbps[0].mean_over(t0, t1), 2)
+        .cell(10.0 / n, 2);
+
+    std::cout << "N=" << n << " queue (KB), fluid : "
+              << bench::shape_line(fluid_run.queue_bytes, t0, t1) << "\n";
+    std::cout << "N=" << n << " queue (KB), packet: "
+              << bench::shape_line(sim_run.queue_bytes, t0, t1) << "\n";
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+
+  const auto fp = control::solve_dcqcn_fixed_point([] {
+    fluid::DcqcnFluidParams p;
+    p.num_flows = 2;
+    return p;
+  }());
+  std::cout << "\nTheorem 1 fixed point (N=2): p*=" << fp.p_star
+            << "  q*=" << fp.q_star_pkts << " KB  Rc*=" << fp.rate_pps * 8e3 / 1e9
+            << " Gb/s\n";
+  return 0;
+}

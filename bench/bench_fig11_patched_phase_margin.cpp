@@ -1,0 +1,50 @@
+// Figure 11: phase margin of Patched TIMELY vs number of flows.
+//
+// Paper: stable until the number of flows exceeds ~40, then the margin falls
+// rapidly because q* (Equation 31) grows with N, inflating the feedback
+// delay tau' (Equation 24).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "control/timely_analysis.hpp"
+
+using namespace ecnd;
+
+int main() {
+  bench::banner("Figure 11 - Patched TIMELY phase margin vs flow count",
+                "positive margin at moderate N, falls below zero near ~40 flows");
+
+  Table table({"N", "q* (KB)", "tau' at q* (us)", "tau* (us)",
+               "phase margin (deg)", "verdict"});
+  int zero_crossing = -1;
+  double prev_pm = 1e9;
+  for (int n : {2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 48, 56, 64, 72}) {
+    fluid::TimelyFluidParams p = fluid::patched_timely_defaults();
+    p.num_flows = n;
+    const auto fp = control::patched_timely_fixed_point(p);
+    if (fp.q_star_pkts >= p.qhigh_pkts()) {
+      table.row().cell(n).cell(fp.q_star_pkts, 1).cell("-").cell("-").cell("-")
+          .cell("no interior fixed point (q* > C*T_high)");
+      continue;
+    }
+    const auto report = control::patched_timely_stability(p);
+    table.row()
+        .cell(n)
+        .cell(fp.q_star_pkts, 1)
+        .cell(fp.feedback_delay * 1e6, 1)
+        .cell(fp.update_interval * 1e6, 1)
+        .cell(report.phase_margin_deg, 1)
+        .cell(report.stable() ? "stable" : "UNSTABLE");
+    if (prev_pm > 0.0 && report.phase_margin_deg <= 0.0 && zero_crossing < 0) {
+      zero_crossing = n;
+    }
+    prev_pm = report.phase_margin_deg;
+  }
+  table.print(std::cout);
+  if (zero_crossing > 0) {
+    std::cout << "\nmargin crosses zero between the previous row and N="
+              << zero_crossing << " (paper: ~40 flows)\n";
+  }
+  return 0;
+}

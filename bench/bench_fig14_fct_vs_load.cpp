@@ -1,0 +1,47 @@
+// Figure 14: median and 90th-percentile FCT of small (<100KB) flows vs load
+// on the Figure-13 dumbbell, for DCQCN, original TIMELY and Patched TIMELY
+// at their papers' default settings (load 1.0 = 8 Gb/s offered).
+//
+// Expected shape: at higher loads TIMELY's tail FCT blows up (queue grows
+// large and variable); patched TIMELY narrows but does not close the gap;
+// DCQCN stays bounded by the RED band.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exp/scenarios.hpp"
+
+using namespace ecnd;
+
+int main() {
+  bench::banner("Figure 14 - small-flow FCT vs load",
+                "DCQCN best; TIMELY worst at high load; patched in between");
+
+  const char* quick = std::getenv("ECND_QUICK");
+  const int flows = quick ? 800 : 3000;
+
+  Table table({"load", "protocol", "median (us)", "p90 (us)", "p99 (us)",
+               "small flows", "queue mean (KB)", "drops"});
+  for (double load : {0.2, 0.4, 0.6, 0.8}) {
+    for (auto protocol : {exp::Protocol::kDcqcn, exp::Protocol::kTimely,
+                          exp::Protocol::kPatchedTimely}) {
+      auto config = exp::make_fct_config(protocol, load);
+      config.num_flows = flows;
+      config.seed = 20161212;  // CoNEXT'16
+      const auto result = exp::run_fct_experiment(config);
+      table.row()
+          .cell(load, 1)
+          .cell(exp::protocol_name(protocol))
+          .cell(result.small.median_us, 0)
+          .cell(result.small.p90_us, 0)
+          .cell(result.small.p99_us, 0)
+          .cell(static_cast<long long>(result.small.count))
+          .cell(result.queue_bytes.mean_over(0.0, 1e9) / 1e3, 1)
+          .cell(static_cast<long long>(result.drops));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(set ECND_QUICK=1 for a faster, noisier run)\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 16: bottleneck queue length over time at load 0.8.
+//
+// Paper: TIMELY's queue grows very high and is highly variable; DCQCN's has
+// a fixed point between the RED thresholds and stays within the band even in
+// transients; patched TIMELY operates between the two.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exp/scenarios.hpp"
+
+using namespace ecnd;
+
+int main() {
+  bench::banner("Figure 16 - bottleneck queue at load 0.8",
+                "TIMELY large + highly variable; DCQCN within the RED band");
+
+  const char* quick = std::getenv("ECND_QUICK");
+  const int flows = quick ? 800 : 3000;
+
+  Table table({"protocol", "queue mean (KB)", "p50 (KB)", "std (KB)",
+               "max (KB)", "time > Kmax(200KB) %"});
+  for (auto protocol : {exp::Protocol::kDcqcn, exp::Protocol::kTimely,
+                        exp::Protocol::kPatchedTimely}) {
+    auto config = exp::make_fct_config(protocol, 0.8);
+    config.num_flows = flows;
+    config.seed = 20161212;
+    const auto result = exp::run_fct_experiment(config);
+    const auto& q = result.queue_bytes;
+    std::vector<double> samples;
+    std::size_t above = 0;
+    for (const auto& s : q.samples()) {
+      samples.push_back(s.value);
+      above += s.value > 200e3;
+    }
+    table.row()
+        .cell(exp::protocol_name(protocol))
+        .cell(q.mean_over(0.0, 1e9) / 1e3, 1)
+        .cell(percentile(samples, 50.0) / 1e3, 1)
+        .cell(q.stddev_over(0.0, 1e9) / 1e3, 1)
+        .cell(q.max_over(0.0, 1e9) / 1e3, 1)
+        .cell(100.0 * static_cast<double>(above) /
+                  static_cast<double>(q.size()), 2);
+    std::cout << exp::protocol_name(protocol) << " queue (KB):\n  "
+              << bench::shape_line(q, 0.0, 1e9) << "\n";
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 17: DCQCN with ECN marked on INGRESS (enqueue) vs EGRESS (dequeue),
+// two flows competing under an ~85us feedback loop.
+//
+// Paper/§5.2: egress marking decouples the control signal's age from the
+// queueing delay; marking on ingress lets the signal go stale inside the
+// queue and the queue fluctuates.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exp/scenarios.hpp"
+
+using namespace ecnd;
+
+int main() {
+  bench::banner("Figure 17 - ECN marking position (2 flows, ~85us loop)",
+                "ingress marking -> queue fluctuation + utilization loss");
+
+  Table table({"marking", "queue mean (KB)", "queue std (KB)",
+               "coeff of variation", "queue min (KB)", "utilization"});
+  for (auto position : {sim::MarkPosition::kDequeue, sim::MarkPosition::kEnqueue}) {
+    exp::LongFlowConfig config;
+    config.protocol = exp::Protocol::kDcqcn;
+    config.flows = 2;
+    config.duration_s = 0.3;
+    config.receiver_link_delay = microseconds(42.0);
+    config.mark_position = position;
+    const auto result = exp::run_long_flows(config);
+    const double mean = result.queue_bytes.mean_over(0.1, 0.3);
+    const double std = result.queue_bytes.stddev_over(0.1, 0.3);
+    const char* label =
+        position == sim::MarkPosition::kDequeue ? "egress (dequeue)" : "ingress (enqueue)";
+    table.row()
+        .cell(label)
+        .cell(mean / 1e3, 1)
+        .cell(std / 1e3, 1)
+        .cell(std / std::max(mean, 1.0), 2)
+        .cell(result.queue_bytes.min_over(0.1, 0.3) / 1e3, 1)
+        .cell(result.utilization, 3);
+    std::cout << label << " queue (KB):\n  "
+              << bench::shape_line(result.queue_bytes, 0.1, 0.3) << "\n";
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

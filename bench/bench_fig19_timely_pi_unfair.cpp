@@ -1,0 +1,62 @@
+// Figure 19: Patched TIMELY with an end-host PI controller. The queue is
+// controlled to the reference (300KB), but the per-flow rates settle at
+// arbitrary splits — delay without fairness, the delay-based half of the
+// Theorem-6 tradeoff.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/stats.hpp"
+#include "fluid/fluid_model.hpp"
+#include "fluid/pi_models.hpp"
+
+using namespace ecnd;
+
+int main() {
+  bench::banner("Figure 19 - Patched TIMELY + PI (fluid model)",
+                "queue pinned at 300KB, rates arbitrarily unfair");
+
+  fluid::TimelyPiParams pi;  // qref = 300 packets = 300KB
+  Table table({"case", "queue mean (KB)", "queue std (KB)", "flow rates (Gb/s)",
+               "Jain"});
+  struct Case {
+    const char* label;
+    std::vector<double> fractions;
+  };
+  for (const Case& c :
+       {Case{"2 flows, 7/3 start", {0.7, 0.3}},
+        Case{"2 flows, 9/1 start", {0.9, 0.1}},
+        Case{"4 flows, staggered", {0.55, 0.25, 0.15, 0.05}}}) {
+    fluid::TimelyFluidParams p = fluid::patched_timely_defaults();
+    p.num_flows = static_cast<int>(c.fractions.size());
+    fluid::PatchedTimelyPiFluidModel model(p, pi);
+    auto x0 = model.initial_state();
+    for (std::size_t i = 0; i < c.fractions.size(); ++i) {
+      x0[model.rate_index(static_cast<int>(i))] =
+          c.fractions[i] * p.capacity_pps();
+    }
+    const auto run = fluid::simulate(model, 1.0, 1e-3, x0);
+    std::string rates;
+    std::vector<double> finals;
+    for (const auto& series : run.flow_rate_gbps) {
+      const double r = series.mean_over(0.8, 1.0);
+      finals.push_back(r);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.2f ", r);
+      rates += buf;
+    }
+    table.row()
+        .cell(c.label)
+        .cell(run.queue_bytes.mean_over(0.8, 1.0) / 1e3, 1)
+        .cell(run.queue_bytes.stddev_over(0.8, 1.0) / 1e3, 1)
+        .cell(rates)
+        .cell(jain_fairness(finals), 3);
+    std::cout << c.label << " queue (KB): "
+              << bench::shape_line(run.queue_bytes, 0.5, 1.0) << "\n";
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nTheorem 6: with delay as the only feedback you get fairness"
+               " OR a fixed delay, never both.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Equation 14 table: closed-form approximation of DCQCN's fixed-point
+// marking probability vs the exact root of Equation 11, across flow counts
+// and link speeds, plus the implied queue length (Equation 9, extended
+// profile) and alpha* (Equation 10).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "control/dcqcn_analysis.hpp"
+
+using namespace ecnd;
+
+int main() {
+  bench::banner("Equation 14 - approximate vs exact DCQCN fixed point",
+                "p* grows with N; Taylor approximation tracks the exact root");
+
+  Table table({"C (Gb/s)", "N", "p* exact", "p* approx (Eq.14)", "ratio",
+               "q* (KB)", "alpha*", "Rt*/Rc*"});
+  for (double gbit : {10.0, 40.0}) {
+    for (int n : {2, 4, 8, 10, 16, 32, 64}) {
+      fluid::DcqcnFluidParams p;
+      p.link_rate = gbps(gbit);
+      p.num_flows = n;
+      p.red_linear_extension = true;
+      const auto fp = control::solve_dcqcn_fixed_point(p);
+      const double approx = control::dcqcn_p_star_approx(p);
+      table.row()
+          .cell(gbit, 0)
+          .cell(n)
+          .cell(fp.p_star, 6)
+          .cell(approx, 6)
+          .cell(approx / fp.p_star, 2)
+          .cell(fp.q_star_bytes(p) / 1e3, 1)
+          .cell(fp.alpha_star, 4)
+          .cell(fp.target_rate_pps / fp.rate_pps, 4);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// fct_study: run the paper's §5.1 flow-completion-time experiment for one
+// protocol and load from the command line, printing the FCT summary, the
+// CDF tail, and the bottleneck queue shape.
+//
+// Usage: fct_study [dcqcn|timely|patched] [load] [num_flows] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "exp/scenarios.hpp"
+
+using namespace ecnd;
+
+int main(int argc, char** argv) {
+  exp::Protocol protocol = exp::Protocol::kDcqcn;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "timely") == 0) protocol = exp::Protocol::kTimely;
+    if (std::strcmp(argv[1], "patched") == 0) protocol = exp::Protocol::kPatchedTimely;
+  }
+  const double load = argc > 2 ? std::atof(argv[2]) : 0.6;
+  const int flows = argc > 3 ? std::atoi(argv[3]) : 1500;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+
+  auto config = exp::make_fct_config(protocol, load);
+  config.num_flows = flows;
+  config.seed = seed;
+
+  std::printf("%s at load %.2f (%d flows, seed %llu)...\n",
+              exp::protocol_name(protocol), load, flows,
+              static_cast<unsigned long long>(seed));
+  const auto result = exp::run_fct_experiment(config);
+
+  std::printf("\nsmall flows (<100KB): n=%zu\n", result.small.count);
+  std::printf("  median %8.1f us\n  p90    %8.1f us\n  p99    %8.1f us\n",
+              result.small.median_us, result.small.p90_us, result.small.p99_us);
+  std::printf("all flows: median %.1f us, p99 %.1f us\n",
+              result.overall.median_us, result.overall.p99_us);
+  std::printf("bottleneck queue: mean %.1f KB, max %.1f KB\n",
+              result.queue_bytes.mean_over(0.0, 1e9) / 1e3,
+              result.queue_bytes.max_over(0.0, 1e9) / 1e3);
+  std::printf("drops: %llu, all completed: %s\n",
+              static_cast<unsigned long long>(result.drops),
+              result.all_completed ? "yes" : "NO");
+
+  std::printf("\nsmall-flow FCT CDF tail:\n");
+  const auto cdf = empirical_cdf(result.small_fcts_us, 200);
+  for (double frac : {0.5, 0.75, 0.9, 0.95, 0.99}) {
+    for (const auto& point : cdf) {
+      if (point.fraction >= frac) {
+        std::printf("  P%2.0f  %10.1f us\n", frac * 100.0, point.value);
+        break;
+      }
+    }
+  }
+  return 0;
+}

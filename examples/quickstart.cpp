@@ -1,0 +1,68 @@
+// Quickstart: build a two-switch dumbbell, run two DCQCN flows, and watch
+// the bottleneck queue settle at the fixed point the control-theory layer
+// predicts. This touches each layer of the library once:
+//   * control/  - fixed-point prediction (Theorem 1)
+//   * sim/      - packet-level network (switches, RED/ECN, hosts)
+//   * proto/    - DCQCN RP/NP endpoints
+//   * fluid/    - the same scenario as a delay-differential fluid model
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "control/dcqcn_analysis.hpp"
+#include "fluid/dcqcn_model.hpp"
+#include "fluid/fluid_model.hpp"
+#include "proto/factories.hpp"
+#include "sim/network.hpp"
+
+using namespace ecnd;
+
+int main() {
+  // 1. Predict the operating point analytically.
+  fluid::DcqcnFluidParams params;  // 10G link, [31] default DCQCN settings
+  params.num_flows = 2;
+  const auto fixed_point = control::solve_dcqcn_fixed_point(params);
+  std::printf("Theorem 1 prediction: p* = %.4f, queue = %.1f KB, "
+              "per-flow rate = %.2f Gb/s\n",
+              fixed_point.p_star, fixed_point.q_star_bytes(params) / 1e3,
+              to_gbps(fixed_point.rate_pps * 8.0 * params.mtu_bytes));
+
+  // 2. Integrate the fluid model.
+  fluid::DcqcnFluidModel model(params);
+  const auto fluid_run = fluid::simulate(model, /*duration=*/0.05,
+                                         /*sample_interval=*/1e-4);
+  std::printf("Fluid model at t=50ms: queue = %.1f KB, rates = %.2f / %.2f Gb/s\n",
+              fluid_run.queue_bytes.back().value / 1e3,
+              fluid_run.flow_rate_gbps[0].back().value,
+              fluid_run.flow_rate_gbps[1].back().value);
+
+  // 3. Run the same scenario packet by packet.
+  sim::Network net(/*seed=*/1);
+  sim::StarConfig topo;
+  topo.senders = 2;
+  topo.red.enabled = true;  // RED/ECN with the paper's Kmin/Kmax/Pmax
+  sim::Star star = make_star(net, topo);
+  for (sim::Host* sender : star.senders) {
+    sender->set_controller_factory(
+        proto::make_dcqcn_factory(net.sim(), proto::DcqcnRpParams{}));
+  }
+  std::vector<std::uint64_t> flow_ids;
+  for (sim::Host* sender : star.senders) {
+    flow_ids.push_back(sender->start_flow(star.receiver->id(), megabytes(1000.0)));
+  }
+  TimeSeries queue("queue");
+  net.monitor_queue(star.bottleneck(), microseconds(100.0), seconds(0.05), queue);
+  net.sim().run_until(seconds(0.05));
+
+  std::printf("Packet sim  [30,50]ms: queue = %.1f KB (mean), "
+              "rates = %.2f / %.2f Gb/s, %llu CNPs, %llu drops\n",
+              queue.mean_over(0.03, 0.05) / 1e3,
+              to_gbps(star.senders[0]->flow_rate(flow_ids[0])),
+              to_gbps(star.senders[1]->flow_rate(flow_ids[1])),
+              static_cast<unsigned long long>(star.receiver->cnps_sent()),
+              static_cast<unsigned long long>(net.total_drops()));
+  std::printf("\nAll three layers should agree on ~%.0f KB and ~5 Gb/s each.\n",
+              fixed_point.q_star_bytes(params) / 1e3);
+  return 0;
+}

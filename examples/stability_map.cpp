@@ -1,0 +1,52 @@
+// stability_map: sweep the control-theory layer over (N, feedback delay) and
+// print a stability map for DCQCN, plus the patched-TIMELY margin curve —
+// the tool you'd use to answer "is my deployment's parameter corner safe?"
+//
+// Usage: stability_map [n_max] [delay_max_us]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "control/dcqcn_analysis.hpp"
+#include "control/timely_analysis.hpp"
+
+using namespace ecnd;
+
+int main(int argc, char** argv) {
+  const int n_max = argc > 1 ? std::atoi(argv[1]) : 64;
+  const double delay_max_us = argc > 2 ? std::atof(argv[2]) : 100.0;
+
+  std::printf("DCQCN phase-margin map (rows: delay, cols: N). "
+              "Symbols: '#'>45deg  '+'>15deg  '.'>0deg  '!'<=0deg\n\n      ");
+  std::vector<int> ns;
+  for (int n = 2; n <= n_max; n = n < 8 ? n + 2 : n * 3 / 2) ns.push_back(n);
+  for (int n : ns) std::printf("%4d", n);
+  std::printf("   (N)\n");
+  for (double delay_us = 5.0; delay_us <= delay_max_us; delay_us *= 1.8) {
+    std::printf("%5.0fus", delay_us);
+    for (int n : ns) {
+      fluid::DcqcnFluidParams p;
+      p.num_flows = n;
+      p.feedback_delay = delay_us * 1e-6;
+      const double pm = control::dcqcn_stability(p).phase_margin_deg;
+      std::printf("   %c", pm > 45.0 ? '#' : pm > 15.0 ? '+' : pm > 0.0 ? '.' : '!');
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nPatched TIMELY margin vs N (default §4.3 parameters):\n");
+  for (int n = 2; n <= n_max; n = n < 8 ? n + 2 : n + 8) {
+    fluid::TimelyFluidParams p = fluid::patched_timely_defaults();
+    p.num_flows = n;
+    const auto fp = control::patched_timely_fixed_point(p);
+    if (fp.q_star_pkts >= p.qhigh_pkts()) {
+      std::printf("  N=%3d: no interior fixed point (q* above C*T_high)\n", n);
+      continue;
+    }
+    const auto report = control::patched_timely_stability(p);
+    std::printf("  N=%3d: q*=%6.1f KB  tau'=%6.1f us  margin %+7.1f deg  %s\n", n,
+                fp.q_star_pkts, fp.feedback_delay * 1e6, report.phase_margin_deg,
+                report.stable() ? "stable" : "UNSTABLE");
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "control/dcqcn_analysis.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ecnd::control {
+namespace {
+
+struct Terms {
+  double a, b, c, d, e;
+};
+
+/// The a..e shorthands of Equation 12 at per-flow rate rc (packets/s).
+Terms equation12_terms(const fluid::DcqcnFluidParams& P, double p, double rc) {
+  const double B = P.byte_counter_pkts();
+  const double TRc = P.timer_T * rc;
+  const double F = P.fast_recovery_steps;
+  auto pow1m = [](double pp, double x) { return std::exp(x * std::log1p(-pp)); };
+  auto inv_growth = [](double pp, double n) { return std::expm1(-n * std::log1p(-pp)); };
+  Terms t{};
+  t.a = -std::expm1(P.tau_cnp * rc * std::log1p(-p));
+  t.b = p / inv_growth(p, B);
+  t.c = pow1m(p, F * B) * t.b;
+  t.d = p / inv_growth(p, TRc);
+  t.e = pow1m(p, F * TRc) * t.d;
+  return t;
+}
+
+}  // namespace
+
+double dcqcn_fixed_point_residual(const fluid::DcqcnFluidParams& params, double p) {
+  const double rc = params.capacity_pps() / params.num_flows;
+  const Terms t = equation12_terms(params, p, rc);
+  const double alpha = -std::expm1(params.tau_alpha * rc * std::log1p(-p));
+  const double lhs = t.a * t.a * alpha / ((t.b + t.d) * (t.c + t.e));
+  const double rhs =
+      params.tau_cnp * params.tau_cnp * params.rate_ai_pps() * rc;
+  return lhs - rhs;
+}
+
+DcqcnFixedPoint solve_dcqcn_fixed_point(const fluid::DcqcnFluidParams& params) {
+  DcqcnFixedPoint fp;
+  fp.rate_pps = params.capacity_pps() / params.num_flows;
+
+  // The residual is negative at p -> 0 and positive at p -> 1 (the LHS of
+  // Equation 11 grows monotonically in p); bisect on a log-friendly bracket.
+  double lo = 1e-12, hi = 0.999999;
+  assert(dcqcn_fixed_point_residual(params, lo) < 0.0);
+  assert(dcqcn_fixed_point_residual(params, hi) > 0.0);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // geometric: p* spans decades
+    if (dcqcn_fixed_point_residual(params, mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  fp.p_star = std::sqrt(lo * hi);
+
+  // Equation 9. With the saturating profile the fixed point only exists on
+  // the RED segment (p* <= pmax); with the linear extension it exists for
+  // any p* < 1.
+  fp.interior =
+      params.red_linear_extension ? fp.p_star < 1.0 : fp.p_star <= params.pmax;
+  fp.q_star_pkts = params.kmin_pkts() +
+                   fp.p_star / params.pmax *
+                       (params.kmax_pkts() - params.kmin_pkts());
+  // Equation 10.
+  fp.alpha_star = -std::expm1(params.tau_alpha * fp.rate_pps *
+                              std::log1p(-fp.p_star));
+  // Rt* from setting Equation 6 to zero.
+  const Terms t = equation12_terms(params, fp.p_star, fp.rate_pps);
+  fp.target_rate_pps =
+      fp.rate_pps +
+      params.tau_cnp * params.rate_ai_pps() * fp.rate_pps * (t.c + t.e) / t.a;
+  return fp;
+}
+
+double dcqcn_p_star_approx(const fluid::DcqcnFluidParams& params) {
+  // Equation 14 (packet units; note tau' = alpha-update interval and T = the
+  // rate-increase timer, equal by default).
+  const double C = params.capacity_pps();
+  const double N = params.num_flows;
+  const double B = params.byte_counter_pkts();
+  const double inner = 1.0 / B + N / (params.timer_T * C);
+  return std::cbrt(params.rate_ai_pps() * N * N /
+                   (params.tau_alpha * C * C) * inner * inner);
+}
+
+DelayedLinearization linearize_dcqcn(const fluid::DcqcnFluidParams& params_in) {
+  // The linearization needs a non-degenerate marking slope at q*, which for
+  // p* > Pmax only exists on the extended profile (see DcqcnFluidParams).
+  fluid::DcqcnFluidParams params = params_in;
+  params.red_linear_extension = true;
+  const DcqcnFixedPoint fp = solve_dcqcn_fixed_point(params);
+  const fluid::DcqcnFluidModel model(params);
+
+  // Reduced symmetric system: x = (q, alpha, Rt, Rc); the delayed argument
+  // carries (q, Rc) into the marking probability and the event-rate terms.
+  const DelayedVectorField f =
+      [&model, &params](const std::vector<std::vector<double>>& args) {
+        const std::vector<double>& x = args[0];
+        const std::vector<double>& xd = args[1];
+        const double p_delayed = model.marking_probability(xd[0]);
+        const fluid::DcqcnFluidModel::FlowDerivatives d =
+            model.flow_rhs(x[1], x[2], x[3], p_delayed, xd[3]);
+        return std::vector<double>{
+            params.num_flows * x[3] - params.capacity_pps(), d.dalpha,
+            d.dtarget, d.drate};
+      };
+
+  const std::vector<double> x_star{fp.q_star_pkts, fp.alpha_star,
+                                   fp.target_rate_pps, fp.rate_pps};
+  return linearize(f, x_star, {params.feedback_delay});
+}
+
+StabilityReport dcqcn_stability(const fluid::DcqcnFluidParams& params,
+                                const PhaseMarginOptions& options) {
+  return phase_margin(linearize_dcqcn(params), options);
+}
+
+}  // namespace ecnd::control

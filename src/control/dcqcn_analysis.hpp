@@ -1,0 +1,45 @@
+#pragma once
+// DCQCN fixed-point and stability analysis (paper §3.2, Theorem 1,
+// Equations 8-14, Figure 3, Appendix A).
+
+#include "control/linearize.hpp"
+#include "control/phase_margin.hpp"
+#include "fluid/dcqcn_model.hpp"
+
+namespace ecnd::control {
+
+/// The unique DCQCN fixed point of Theorem 1 (packet units).
+struct DcqcnFixedPoint {
+  double p_star = 0.0;        ///< marking probability
+  double q_star_pkts = 0.0;   ///< queue length (Equation 9)
+  double alpha_star = 0.0;    ///< per-flow alpha (Equation 10)
+  double rate_pps = 0.0;      ///< per-flow rate C/N
+  double target_rate_pps = 0.0;  ///< per-flow target rate Rt*
+  /// False when p* falls outside the RED profile's linear range (q* would
+  /// exceed Kmax), i.e. the interior fixed point does not exist.
+  bool interior = true;
+
+  double q_star_bytes(const fluid::DcqcnFluidParams& p) const {
+    return q_star_pkts * p.mtu_bytes;
+  }
+};
+
+/// Left-hand side of Equation 11 minus the right-hand side, as a function of
+/// p; its unique root is p*. Exposed for the uniqueness/monotonicity tests.
+double dcqcn_fixed_point_residual(const fluid::DcqcnFluidParams& params, double p);
+
+/// Solve Equation 11 for p* by bisection and derive q*, alpha*, Rt*.
+DcqcnFixedPoint solve_dcqcn_fixed_point(const fluid::DcqcnFluidParams& params);
+
+/// Closed-form approximation of p* (Equation 14, Taylor around p = 0).
+double dcqcn_p_star_approx(const fluid::DcqcnFluidParams& params);
+
+/// Linearize the symmetric-flow reduced system (q, alpha, Rt, Rc) around the
+/// fixed point. The single delay is the control-loop lag tau*.
+DelayedLinearization linearize_dcqcn(const fluid::DcqcnFluidParams& params);
+
+/// Phase margin of DCQCN at the given parameters (Figure 3's y-axis).
+StabilityReport dcqcn_stability(const fluid::DcqcnFluidParams& params,
+                                const PhaseMarginOptions& options = {});
+
+}  // namespace ecnd::control

@@ -1,0 +1,101 @@
+#include "control/discrete_dcqcn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ecnd::control {
+
+DiscreteDcqcn::DiscreteDcqcn(DiscreteDcqcnParams params) : params_(params) {
+  assert(params_.num_flows >= 1);
+  assert(params_.g > 0.0 && params_.g < 1.0);
+}
+
+DiscreteDcqcnTrace DiscreteDcqcn::run(int num_cycles,
+                                      std::vector<double> rates,
+                                      std::vector<double> alphas) const {
+  const auto n = static_cast<std::size_t>(params_.num_flows);
+  assert(rates.size() == n);
+  if (alphas.empty()) alphas.assign(n, 1.0);
+  assert(alphas.size() == n);
+  std::vector<double> targets = rates;  // Rt = Rc initially
+
+  DiscreteDcqcnTrace trace;
+  trace.cycles.reserve(static_cast<std::size_t>(num_cycles));
+
+  double queue = 0.0;
+  int units_since_mark = 0;
+  const int kMaxUnits = 10'000'000;  // hard stop against degenerate configs
+  for (int unit = 0, cycles = 0; cycles < num_cycles && unit < kMaxUnits; ++unit) {
+    double sum_rate = 0.0;
+    for (double r : rates) sum_rate += r;
+    queue = std::max(0.0, queue + (sum_rate - params_.capacity_pps) * params_.tau_unit);
+
+    if (queue >= params_.mark_threshold_pkts) {
+      // Synchronized marking instant T_k: record the peak, then every flow
+      // reduces per Equation 1 (with Rt := Rc, footnote 3).
+      DiscreteCycle cycle;
+      cycle.time_units = units_since_mark;
+      cycle.rates_pps = rates;
+      double amin = alphas[0], amax = alphas[0], asum = 0.0;
+      double rmin = rates[0], rmax = rates[0];
+      for (std::size_t i = 0; i < n; ++i) {
+        asum += alphas[i];
+        amin = std::min(amin, alphas[i]);
+        amax = std::max(amax, alphas[i]);
+        rmin = std::min(rmin, rates[i]);
+        rmax = std::max(rmax, rates[i]);
+      }
+      cycle.alpha_mean = asum / static_cast<double>(n);
+      cycle.alpha_gap = amax - amin;
+      cycle.rate_gap_pps = rmax - rmin;
+      trace.cycles.push_back(std::move(cycle));
+      ++cycles;
+      units_since_mark = 0;
+
+      for (std::size_t i = 0; i < n; ++i) {
+        targets[i] = rates[i];
+        rates[i] *= 1.0 - alphas[i] / 2.0;
+        alphas[i] = (1.0 - params_.g) * alphas[i] + params_.g;
+      }
+      // The ECN-marked packets drain; the queue relaxes below the threshold.
+      queue = 0.0;
+    } else {
+      // Additive-increase unit (Equations 35-36) plus alpha decay (Eq. 2).
+      for (std::size_t i = 0; i < n; ++i) {
+        targets[i] += params_.rate_ai_pps;
+        rates[i] = 0.5 * (rates[i] + targets[i]);
+        alphas[i] *= 1.0 - params_.g;
+      }
+      ++units_since_mark;
+    }
+  }
+  return trace;
+}
+
+double DiscreteDcqcn::buildup_time_units() const {
+  // Equation 41: N tau' R_AI (1 + 2 + ... + t) = Q_ECN.
+  const double k = params_.mark_threshold_pkts;
+  const double nrai = params_.num_flows * params_.rate_ai_pps * params_.tau_unit;
+  return 0.5 * (-1.0 + std::sqrt(1.0 + 8.0 * k / nrai));
+}
+
+double DiscreteDcqcn::alpha_fixed_point() const {
+  // Equations 40 + 42: alpha* = (1-g)^{DeltaT*} ((1-g) alpha* + g) with
+  // DeltaT* = 2 + (t/2 + C/(2 N R_AI)) alpha*. Fixed-point iteration from
+  // alpha = 1 converges monotonically (f is increasing, Appendix B).
+  const double t = buildup_time_units();
+  const double slope = t / 2.0 + params_.capacity_pps /
+                                     (2.0 * params_.num_flows * params_.rate_ai_pps);
+  double alpha = 1.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double delta_t = 2.0 + slope * alpha;
+    const double next = std::pow(1.0 - params_.g, delta_t) *
+                        ((1.0 - params_.g) * alpha + params_.g);
+    if (std::abs(next - alpha) < 1e-15) return next;
+    alpha = next;
+  }
+  return alpha;
+}
+
+}  // namespace ecnd::control

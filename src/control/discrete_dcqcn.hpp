@@ -1,0 +1,61 @@
+#pragma once
+// Discrete AIMD model of DCQCN rate updates (paper §3.3, Theorem 2,
+// Appendix B; Figures 6/22 sketch the sawtooth this model walks).
+//
+// Time advances in units of tau' (= the rate-increase timer T = 55us by
+// default). Flows are synchronized, as the paper assumes: all get marked
+// together when the shared queue crosses the ECN threshold (instant T_k),
+// then perform DeltaT_k - 1 additive-increase steps per Equations 35-36
+// until the next marking. Fast recovery and hyper-increase are omitted and
+// Rt := Rc on decrease, exactly the simplification of footnote 3.
+
+#include <vector>
+
+namespace ecnd::control {
+
+struct DiscreteDcqcnParams {
+  double capacity_pps = 1.25e6;  ///< bottleneck capacity C (10 Gb/s, 1000B MTU)
+  int num_flows = 2;             ///< N
+  double g = 1.0 / 256.0;        ///< alpha gain
+  double rate_ai_pps = 5000.0;   ///< R_AI (40 Mb/s at 1000B MTU)
+  double tau_unit = 55e-6;       ///< the time unit tau' = T (seconds)
+  double mark_threshold_pkts = 200.0;  ///< Q_ECN <= K_max (Equation 41)
+};
+
+/// One synchronized marking cycle's bookkeeping.
+struct DiscreteCycle {
+  int time_units = 0;          ///< DeltaT_k
+  double alpha_mean = 0.0;     ///< mean alpha at the peak T_k
+  double rate_gap_pps = 0.0;   ///< max_i,j |Rc_i - Rc_j| at the peak
+  double alpha_gap = 0.0;      ///< max_i,j |alpha_i - alpha_j| at the peak
+  std::vector<double> rates_pps;  ///< per-flow Rc at the peak
+};
+
+struct DiscreteDcqcnTrace {
+  std::vector<DiscreteCycle> cycles;
+};
+
+class DiscreteDcqcn {
+ public:
+  explicit DiscreteDcqcn(DiscreteDcqcnParams params);
+
+  /// Run the model until `num_cycles` marking events have occurred, starting
+  /// from the given initial rates (packets/s) and alphas. Sizes must equal
+  /// num_flows; alphas default to 1.0 (DCQCN's initial value).
+  DiscreteDcqcnTrace run(int num_cycles, std::vector<double> initial_rates_pps,
+                         std::vector<double> initial_alphas = {}) const;
+
+  /// Fixed point alpha* of Equation 42 (with DeltaT* from Equations 40-41),
+  /// solved by fixed-point iteration.
+  double alpha_fixed_point() const;
+
+  /// Estimated queue-buildup time t of Equation 41 (time units).
+  double buildup_time_units() const;
+
+  const DiscreteDcqcnParams& params() const { return params_; }
+
+ private:
+  DiscreteDcqcnParams params_;
+};
+
+}  // namespace ecnd::control

@@ -1,0 +1,48 @@
+#include "control/linearize.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ecnd::control {
+
+DelayedLinearization linearize(const DelayedVectorField& f,
+                               const std::vector<double>& fixed_point,
+                               const std::vector<double>& delay_lags,
+                               double rel_step, double scale_floor) {
+  const std::size_t n = fixed_point.size();
+  const std::size_t num_args = 1 + delay_lags.size();
+
+  // All arguments sit at the fixed point; we perturb one coordinate of one
+  // argument at a time.
+  std::vector<std::vector<double>> base(num_args, fixed_point);
+
+  DelayedLinearization out;
+  out.residual = f(base);
+  assert(out.residual.size() == n);
+
+  auto jacobian_for_arg = [&](std::size_t arg) {
+    Matrix jac(n, n);
+    for (std::size_t col = 0; col < n; ++col) {
+      const double h =
+          rel_step * std::max(std::abs(fixed_point[col]), scale_floor);
+      std::vector<std::vector<double>> args = base;
+      args[arg][col] = fixed_point[col] + h;
+      const std::vector<double> fp = f(args);
+      args[arg][col] = fixed_point[col] - h;
+      const std::vector<double> fm = f(args);
+      for (std::size_t row = 0; row < n; ++row) {
+        jac(row, col) = (fp[row] - fm[row]) / (2.0 * h);
+      }
+    }
+    return jac;
+  };
+
+  out.a = jacobian_for_arg(0);
+  out.delays.reserve(delay_lags.size());
+  for (std::size_t k = 0; k < delay_lags.size(); ++k) {
+    out.delays.push_back({delay_lags[k], jacobian_for_arg(k + 1)});
+  }
+  return out;
+}
+
+}  // namespace ecnd::control

@@ -1,0 +1,42 @@
+#pragma once
+// Numerical linearization of autonomous systems with discrete delays.
+//
+// The paper's Appendix A linearizes the DCQCN fluid model by hand and pushes
+// it through the Laplace transform. We do the equivalent numerically, which
+// generalizes uniformly to patched TIMELY (and is validated against
+// time-domain fluid integration in the test suite): around a fixed point x*
+// of
+//     dx/dt = f(x(t), x(t - tau_1), ..., x(t - tau_K)),
+// central finite differences give
+//     A   = df/dx      (current-state Jacobian)
+//     B_k = df/dx_dk   (Jacobian w.r.t. the k-th delayed argument)
+// and the characteristic function is det(sI - A - sum_k B_k e^{-s tau_k}).
+
+#include <functional>
+#include <vector>
+
+#include "control/matrix.hpp"
+
+namespace ecnd::control {
+
+/// A vector field f(x, xd_1..xd_K): `args[0]` is the current state, args[1..]
+/// the state at each delay. Returns dx/dt.
+using DelayedVectorField =
+    std::function<std::vector<double>(const std::vector<std::vector<double>>&)>;
+
+struct DelayedLinearization {
+  Matrix a;                       ///< Jacobian w.r.t. the current state
+  std::vector<DelayTerm> delays;  ///< per-delay Jacobians with their lags
+  std::vector<double> residual;   ///< f at the fixed point (should be ~0)
+};
+
+/// Linearize `f` (with the given delay lags) around `fixed_point` using
+/// central differences with per-coordinate steps `h_i = rel_step * max(|x_i|,
+/// scale_floor)`.
+DelayedLinearization linearize(const DelayedVectorField& f,
+                               const std::vector<double>& fixed_point,
+                               const std::vector<double>& delay_lags,
+                               double rel_step = 1e-6,
+                               double scale_floor = 1e-9);
+
+}  // namespace ecnd::control

@@ -1,0 +1,113 @@
+#include "control/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ecnd::control {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) out(r, c) += v * other(k, c);
+    }
+  }
+  return out;
+}
+
+CMatrix::CMatrix(const Matrix& real) : CMatrix(real.rows(), real.cols()) {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = real(r, c);
+  }
+}
+
+CMatrix& CMatrix::add_scaled(const Matrix& real, Complex scale) {
+  assert(rows_ == real.rows() && cols_ == real.cols());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) += scale * real(r, c);
+  }
+  return *this;
+}
+
+Complex CMatrix::determinant() const {
+  assert(rows_ == cols_);
+  const std::size_t n = rows_;
+  std::vector<Complex> a = data_;
+  Complex det = 1.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting on magnitude.
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(a[r * n + col]);
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) return 0.0;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[pivot * n + c], a[col * n + c]);
+      det = -det;
+    }
+    const Complex diag = a[col * n + col];
+    det *= diag;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const Complex factor = a[r * n + col] / diag;
+      if (factor == Complex{}) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= factor * a[col * n + c];
+    }
+  }
+  return det;
+}
+
+Complex characteristic_function(Complex s, const Matrix& a,
+                                const std::vector<DelayTerm>& delays) {
+  const std::size_t n = a.rows();
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = s;
+  m.add_scaled(a, -1.0);
+  for (const DelayTerm& term : delays) {
+    m.add_scaled(term.coeff, -std::exp(-s * term.tau));
+  }
+  return m.determinant();
+}
+
+Complex delay_free_characteristic(Complex s, const Matrix& a) {
+  const std::size_t n = a.rows();
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = s;
+  m.add_scaled(a, -1.0);
+  return m.determinant();
+}
+
+}  // namespace ecnd::control

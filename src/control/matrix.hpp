@@ -1,0 +1,79 @@
+#pragma once
+// Minimal dense-matrix support for the control-theory toolkit. The linearized
+// systems here are tiny (dimension 3-4), so a straightforward row-major
+// matrix with partial-pivot LU determinant is all we need — no external
+// linear-algebra dependency.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace ecnd::control {
+
+using Complex = std::complex<double>;
+
+/// Row-major real matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  static Matrix identity(std::size_t n);
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double s) const;
+  Matrix operator*(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Row-major complex matrix (used for s-domain evaluations).
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+  explicit CMatrix(const Matrix& real);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Complex& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  Complex operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  CMatrix& add_scaled(const Matrix& real, Complex scale);
+
+  /// Determinant via partial-pivot LU (destructive on a copy).
+  Complex determinant() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// det(s*I - A - sum_k B_k * exp(-s * tau_k)) — the characteristic function
+/// of a linear system with discrete delays.
+struct DelayTerm {
+  double tau = 0.0;
+  Matrix coeff;
+};
+
+Complex characteristic_function(Complex s, const Matrix& a,
+                                const std::vector<DelayTerm>& delays);
+
+/// det(s*I - A): the delay-free part, used to normalize the loop gain.
+Complex delay_free_characteristic(Complex s, const Matrix& a);
+
+}  // namespace ecnd::control

@@ -1,0 +1,75 @@
+#include "control/phase_margin.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace ecnd::control {
+namespace {
+
+constexpr double kPi = 3.141592653589793;
+
+}  // namespace
+
+Complex loop_gain(const DelayedLinearization& lin, double omega) {
+  const Complex s{0.0, omega};
+  const Complex num = characteristic_function(s, lin.a, lin.delays);
+  const Complex den = delay_free_characteristic(s, lin.a);
+  return num / den - 1.0;
+}
+
+StabilityReport phase_margin(const DelayedLinearization& lin,
+                             const PhaseMarginOptions& options) {
+  assert(options.points >= 16);
+  const double log_min = std::log(options.omega_min);
+  const double log_max = std::log(options.omega_max);
+
+  std::vector<double> omegas(static_cast<std::size_t>(options.points));
+  std::vector<double> mags(omegas.size());
+  std::vector<double> phases(omegas.size());
+
+  double prev_raw_phase = 0.0;
+  double unwrap_offset = 0.0;
+  for (std::size_t i = 0; i < omegas.size(); ++i) {
+    const double w = std::exp(
+        log_min + (log_max - log_min) * static_cast<double>(i) /
+                      static_cast<double>(omegas.size() - 1));
+    omegas[i] = w;
+    const Complex l = loop_gain(lin, w);
+    mags[i] = std::abs(l);
+    double raw = std::arg(l);  // (-pi, pi]
+    if (i > 0) {
+      // Unwrap: keep phase continuous across the branch cut.
+      while (raw + unwrap_offset - prev_raw_phase > kPi) unwrap_offset -= 2.0 * kPi;
+      while (raw + unwrap_offset - prev_raw_phase < -kPi) unwrap_offset += 2.0 * kPi;
+    }
+    phases[i] = raw + unwrap_offset;
+    prev_raw_phase = phases[i];
+  }
+
+  StabilityReport report;
+  for (std::size_t i = 1; i < omegas.size(); ++i) {
+    const double g0 = std::log(std::max(mags[i - 1], 1e-300));
+    const double g1 = std::log(std::max(mags[i], 1e-300));
+    if ((g0 > 0.0) == (g1 > 0.0)) continue;  // no |L| = 1 crossing here
+    // Interpolate the crossover frequency and phase in log-omega.
+    const double f = g0 / (g0 - g1);
+    const double w = std::exp(std::log(omegas[i - 1]) +
+                              f * (std::log(omegas[i]) - std::log(omegas[i - 1])));
+    const double phase = phases[i - 1] + f * (phases[i] - phases[i - 1]);
+    // Phase margin relative to the nearest odd multiple of 180 degrees below.
+    const double phase_deg = phase * 180.0 / kPi;
+    // Distance above -180 (mod 360), mapped to (-180, 180].
+    double pm = std::fmod(phase_deg + 180.0, 360.0);
+    if (pm <= -180.0) pm += 360.0;
+    if (pm > 180.0) pm -= 360.0;
+    ++report.crossovers;
+    if (pm < report.phase_margin_deg) {
+      report.phase_margin_deg = pm;
+      report.crossover_rad_s = w;
+    }
+  }
+  return report;
+}
+
+}  // namespace ecnd::control

@@ -1,0 +1,95 @@
+#include "control/timely_analysis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ecnd::control {
+
+PatchedTimelyFixedPoint patched_timely_fixed_point(
+    const fluid::TimelyFluidParams& params) {
+  PatchedTimelyFixedPoint fp;
+  const double C = params.capacity_pps();
+  fp.rate_pps = C / params.num_flows;
+  // Equation 31 with q' = C * T_low.
+  const double qref = params.qlow_pkts();
+  fp.q_star_pkts =
+      params.num_flows * params.delta_pps() * qref / (params.beta * C) + qref;
+  fp.feedback_delay = fp.q_star_pkts / C + params.base_feedback_delay();
+  fp.update_interval =
+      std::max(params.segment_pkts() / fp.rate_pps, params.d_min_rtt);
+  return fp;
+}
+
+DelayedLinearization linearize_patched_timely(
+    const fluid::TimelyFluidParams& params) {
+  const PatchedTimelyFixedPoint fp = patched_timely_fixed_point(params);
+  if (fp.q_star_pkts >= params.qhigh_pkts()) {
+    throw std::domain_error(
+        "patched TIMELY fixed point exceeds T_high: no interior fixed point "
+        "at this flow count");
+  }
+
+  const double C = params.capacity_pps();
+  const double qref = params.qlow_pkts();
+
+  // Reduced symmetric system x = (q, g, R); delayed arguments carry the two
+  // queue samples that form the gradient: xd1 at tau', xd2 at tau' + tau*.
+  const DelayedVectorField f =
+      [&params, C, qref](const std::vector<std::vector<double>>& args) {
+        const std::vector<double>& x = args[0];
+        const double q_d1 = args[1][0];
+        const double q_d2 = args[2][0];
+        const double g = x[1];
+        const double rate = x[2];
+        const double tau_star =
+            std::max(params.segment_pkts() / rate, params.d_min_rtt);
+        const double w = fluid::PatchedTimelyFluidModel::weight(g);
+        const double dq = params.num_flows * rate - C;
+        const double dg =
+            params.alpha_ewma / tau_star *
+            (-g + (q_d1 - q_d2) / (C * params.d_min_rtt));
+        const double dr = (1.0 - w) * params.delta_pps() / tau_star -
+                          w * params.beta / tau_star * rate * (q_d1 - qref) / qref;
+        return std::vector<double>{dq, dg, dr};
+      };
+
+  const std::vector<double> x_star{fp.q_star_pkts, 0.0, fp.rate_pps};
+  return linearize(f, x_star,
+                   {fp.feedback_delay, fp.feedback_delay + fp.update_interval});
+}
+
+StabilityReport patched_timely_stability(const fluid::TimelyFluidParams& params,
+                                         const PhaseMarginOptions& options) {
+  return phase_margin(linearize_patched_timely(params), options);
+}
+
+double timely_rate_derivative_at_candidate(
+    const fluid::TimelyFluidParams& params, double q_pkts,
+    const std::vector<double>& rates_pps) {
+  // At a steady candidate the queue is constant, so every delayed sample
+  // equals q_pkts and the gradient is exactly zero.
+  double worst = 0.0;
+  for (const double rate : rates_pps) {
+    const double tau_star =
+        std::max(params.segment_pkts() / rate, params.d_min_rtt);
+    double dr;
+    if (q_pkts < params.qlow_pkts()) {
+      dr = params.delta_pps() / tau_star;
+    } else if (q_pkts > params.qhigh_pkts()) {
+      dr = -params.beta / tau_star * (1.0 - params.qhigh_pkts() / q_pkts) * rate;
+    } else {
+      // Between the thresholds with g == 0:
+      //  * Algorithm 1 (g <= 0 -> additive increase): the rate still moves,
+      //    which is Theorem 3's contradiction — no fixed point exists.
+      //  * Equation 28 (g >= 0 -> decrease scaled by g = 0): the derivative
+      //    vanishes for ANY rate split — Theorem 4's infinite fixed points.
+      dr = params.strict_gradient_zero ? 0.0 : params.delta_pps() / tau_star;
+    }
+    worst = std::max(worst, std::abs(dr));
+  }
+  return worst;
+}
+
+}  // namespace ecnd::control

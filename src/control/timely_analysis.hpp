@@ -1,0 +1,48 @@
+#pragma once
+// TIMELY / Patched-TIMELY fixed-point structure and stability analysis
+// (paper §4.2-4.3, Theorems 3-5, Figure 11).
+
+#include "control/linearize.hpp"
+#include "control/phase_margin.hpp"
+#include "fluid/timely_model.hpp"
+
+namespace ecnd::control {
+
+/// Patched TIMELY's unique fixed point (Theorem 5 / Equation 31).
+struct PatchedTimelyFixedPoint {
+  double q_star_pkts = 0.0;
+  double rate_pps = 0.0;       ///< per-flow rate C/N
+  double feedback_delay = 0.0; ///< tau' at the fixed point (Equation 24)
+  double update_interval = 0.0;  ///< tau* at the fixed point (Equation 23)
+};
+
+PatchedTimelyFixedPoint patched_timely_fixed_point(
+    const fluid::TimelyFluidParams& params);
+
+/// Linearize the symmetric-flow reduced system (q, g, R) around the fixed
+/// point. Two delays: tau' (fresh queue sample) and tau' + tau* (previous
+/// sample forming the gradient). The state-dependent delay is frozen at its
+/// fixed-point value, as in the paper.
+DelayedLinearization linearize_patched_timely(
+    const fluid::TimelyFluidParams& params);
+
+/// Phase margin of patched TIMELY (Figure 11's y-axis). The growth of q*
+/// with N feeds back into tau', which is what eventually destabilizes the
+/// protocol (paper: around 40 flows at default parameters).
+StabilityReport patched_timely_stability(
+    const fluid::TimelyFluidParams& params,
+    const PhaseMarginOptions& options = {});
+
+// ---- Theorems 3-4: fixed-point structure of *original* TIMELY ----
+
+/// Evaluate whether original TIMELY's fluid equations can all vanish at a
+/// candidate operating point (queue between thresholds, sum of rates = C,
+/// zero gradients). Per Theorem 3 the answer is "no" for the `<=`-gradient
+/// rule of Algorithm 1 (dR/dt = delta/tau* > 0 at g = 0); per Theorem 4 the
+/// Equation-28 variant accepts *any* rate split, i.e. infinitely many fixed
+/// points. Returns the max |dR_i/dt| over flows at the candidate point.
+double timely_rate_derivative_at_candidate(
+    const fluid::TimelyFluidParams& params, double q_pkts,
+    const std::vector<double>& rates_pps);
+
+}  // namespace ecnd::control

@@ -1,0 +1,51 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All stochastic elements of the reproduction (flow arrivals, flow sizes,
+// sender/receiver selection, feedback jitter) draw from this generator so
+// that every experiment is exactly reproducible from its seed. The core is
+// xoshiro256**, seeded through SplitMix64 per the reference recommendation.
+
+#include <cstdint>
+#include <limits>
+
+namespace ecnd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no cached spare; stateless per call pair).
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // UniformRandomBitGenerator interface, so <algorithm>/<random> accept Rng.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ecnd

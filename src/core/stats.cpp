@@ -1,0 +1,65 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecnd {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0, sum2 = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum2 += v * v;
+  }
+  if (sum2 <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum2);
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values, std::size_t max_points) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty() || max_points == 0) return cdf;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t points = std::min(max_points, n);
+  cdf.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Pick ranks spread evenly, always ending on the maximum.
+    const std::size_t rank =
+        (points == 1) ? n - 1 : i * (n - 1) / (points - 1);
+    cdf.push_back({values[rank], static_cast<double>(rank + 1) / static_cast<double>(n)});
+  }
+  return cdf;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum2_ += x * x;
+}
+
+double RunningStats::stddev() const {
+  if (n_ == 0) return 0.0;
+  const double m = mean();
+  const double var = std::max(0.0, sum2_ / static_cast<double>(n_) - m * m);
+  return std::sqrt(var);
+}
+
+}  // namespace ecnd

@@ -1,0 +1,52 @@
+#pragma once
+// Statistics helpers used by the experiment harnesses: percentiles, CDFs,
+// Jain's fairness index and streaming summaries.
+
+#include <cstddef>
+#include <vector>
+
+namespace ecnd {
+
+/// p-th percentile (p in [0,100]) by linear interpolation between closest
+/// ranks. The input need not be sorted; an empty input yields 0.
+double percentile(std::vector<double> values, double p);
+
+/// Median shorthand.
+inline double median(std::vector<double> values) {
+  return percentile(std::move(values), 50.0);
+}
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly
+/// fair. Empty or all-zero input yields 0.
+double jain_fairness(const std::vector<double>& values);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;  // P(X <= value)
+};
+
+/// Empirical CDF reduced to at most `max_points` points (always includes the
+/// extremes). Useful for printing Figure-15-style curves.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values,
+                                    std::size_t max_points = 64);
+
+/// Streaming count/mean/min/max/stddev accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ecnd

@@ -1,0 +1,131 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace ecnd {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << value;
+  return cell(ss.str());
+}
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << v;
+      for (std::size_t pad = v.size(); pad < widths[c] + 2; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      const std::string& v = cells[c];
+      if (v.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : v) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << v;
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return {};
+  double lo = values.front(), hi = values.front();
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  std::string out;
+  for (double v : values) {
+    int idx = span > 0.0 ? static_cast<int>((v - lo) / span * 7.999) : 0;
+    idx = std::clamp(idx, 0, 7);
+    out += kLevels[idx];
+  }
+  return out;
+}
+
+std::string ascii_chart(const std::vector<double>& values, int height, int width) {
+  if (values.empty() || height < 2 || width < 2) return {};
+  // Resample values to `width` columns by averaging buckets.
+  std::vector<double> cols(static_cast<std::size_t>(width), 0.0);
+  for (int c = 0; c < width; ++c) {
+    const std::size_t lo = static_cast<std::size_t>(c) * values.size() / static_cast<std::size_t>(width);
+    std::size_t hi = static_cast<std::size_t>(c + 1) * values.size() / static_cast<std::size_t>(width);
+    hi = std::max(hi, lo + 1);
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi && i < values.size(); ++i) sum += values[i];
+    cols[static_cast<std::size_t>(c)] = sum / static_cast<double>(hi - lo);
+  }
+  double lo = cols.front(), hi = cols.front();
+  for (double v : cols) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::ostringstream os;
+  for (int r = height - 1; r >= 0; --r) {
+    const double rlo = lo + span * r / height;
+    os << (r == height - 1 ? '+' : '|');
+    for (int c = 0; c < width; ++c) {
+      os << (cols[static_cast<std::size_t>(c)] >= rlo ? '#' : ' ');
+    }
+    os << '\n';
+  }
+  os << '+' << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "min=" << lo << " max=" << hi << '\n';
+  return os.str();
+}
+
+}  // namespace ecnd

@@ -1,0 +1,46 @@
+#pragma once
+// Console table / CSV emission for the benchmark harnesses. Each bench prints
+// the same rows the paper's tables/figures report, so output must be both
+// human-readable (aligned columns) and machine-harvestable (CSV on request).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecnd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(std::size_t value) { return cell(static_cast<long long>(value)); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Aligned fixed-width rendering for the console.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Sparkline-style ASCII rendering of a series of values, e.g.
+/// "▁▂▄▆█▆▄▂▁". Used by benches to show trace *shape* inline.
+std::string sparkline(const std::vector<double>& values);
+
+/// Multi-line ASCII chart (height rows) of one series; useful for queue
+/// occupancy traces where shape matters more than exact values.
+std::string ascii_chart(const std::vector<double>& values, int height = 8,
+                        int width = 72);
+
+}  // namespace ecnd

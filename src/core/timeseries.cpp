@@ -1,0 +1,125 @@
+#include "core/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ecnd {
+
+void TimeSeries::push(double t, double value) {
+  assert(samples_.empty() || t >= samples_.back().t);
+  samples_.push_back({t, value});
+}
+
+double TimeSeries::first_time() const {
+  return samples_.empty() ? 0.0 : samples_.front().t;
+}
+
+double TimeSeries::last_time() const {
+  return samples_.empty() ? 0.0 : samples_.back().t;
+}
+
+double TimeSeries::value_at(double t) const {
+  if (samples_.empty()) return 0.0;
+  if (t <= samples_.front().t) return samples_.front().value;
+  if (t >= samples_.back().t) return samples_.back().value;
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const Sample& s, double tt) { return s.t < tt; });
+  const Sample& hi = *it;
+  const Sample& lo = *(it - 1);
+  const double span = hi.t - lo.t;
+  if (span <= 0.0) return hi.value;
+  const double w = (t - lo.t) / span;
+  return lo.value + w * (hi.value - lo.value);
+}
+
+namespace {
+
+template <typename Fn>
+void for_window(const std::vector<Sample>& samples, double t0, double t1, Fn&& fn) {
+  for (const Sample& s : samples) {
+    if (s.t < t0) continue;
+    if (s.t > t1) break;
+    fn(s);
+  }
+}
+
+}  // namespace
+
+double TimeSeries::min_over(double t0, double t1) const {
+  double m = 0.0;
+  bool any = false;
+  for_window(samples_, t0, t1, [&](const Sample& s) {
+    m = any ? std::min(m, s.value) : s.value;
+    any = true;
+  });
+  return m;
+}
+
+double TimeSeries::max_over(double t0, double t1) const {
+  double m = 0.0;
+  bool any = false;
+  for_window(samples_, t0, t1, [&](const Sample& s) {
+    m = any ? std::max(m, s.value) : s.value;
+    any = true;
+  });
+  return m;
+}
+
+double TimeSeries::mean_over(double t0, double t1) const {
+  // Trapezoidal time-weighted mean; falls back to plain mean for <2 samples.
+  std::vector<Sample> window;
+  for_window(samples_, t0, t1, [&](const Sample& s) { window.push_back(s); });
+  if (window.empty()) return 0.0;
+  if (window.size() == 1) return window.front().value;
+  double area = 0.0;
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    const double dt = window[i].t - window[i - 1].t;
+    area += 0.5 * (window[i].value + window[i - 1].value) * dt;
+  }
+  const double span = window.back().t - window.front().t;
+  if (span <= 0.0) return window.front().value;
+  return area / span;
+}
+
+double TimeSeries::stddev_over(double t0, double t1) const {
+  double sum = 0.0, sum2 = 0.0;
+  std::size_t n = 0;
+  for_window(samples_, t0, t1, [&](const Sample& s) {
+    sum += s.value;
+    sum2 += s.value * s.value;
+    ++n;
+  });
+  if (n == 0) return 0.0;
+  const double mean = sum / static_cast<double>(n);
+  const double var = std::max(0.0, sum2 / static_cast<double>(n) - mean * mean);
+  return std::sqrt(var);
+}
+
+TimeSeries TimeSeries::resampled(std::size_t n) const {
+  TimeSeries out(name_);
+  if (samples_.empty() || n == 0) return out;
+  const double t0 = first_time();
+  const double t1 = last_time();
+  if (n == 1 || t1 <= t0) {
+    out.push(t0, value_at(t0));
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(n - 1);
+    out.push(t, value_at(t));
+  }
+  return out;
+}
+
+void TimeSeries::decimate(std::size_t k) {
+  if (k <= 1 || samples_.size() <= 2) return;
+  std::vector<Sample> kept;
+  kept.reserve(samples_.size() / k + 2);
+  for (std::size_t i = 0; i < samples_.size(); i += k) kept.push_back(samples_[i]);
+  if (kept.back().t != samples_.back().t) kept.push_back(samples_.back());
+  samples_ = std::move(kept);
+}
+
+}  // namespace ecnd

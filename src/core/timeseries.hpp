@@ -1,0 +1,61 @@
+#pragma once
+// Time-series recording used by both the fluid models (queue/rate traces)
+// and the packet simulator (queue sampling, per-flow throughput traces).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecnd {
+
+/// A (time, value) sample. Time is in seconds throughout the analysis layer.
+struct Sample {
+  double t = 0.0;
+  double value = 0.0;
+};
+
+/// Append-only series of samples with simple analysis helpers. Samples must
+/// be appended in non-decreasing time order (checked in debug builds).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void push(double t, double value);
+  void clear() { samples_.clear(); }
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const { return samples_; }
+  const Sample& back() const { return samples_.back(); }
+
+  double first_time() const;
+  double last_time() const;
+
+  /// Linear interpolation at time t (clamped to the series' span).
+  double value_at(double t) const;
+
+  /// Statistics over samples with t in [t0, t1]; empty window -> 0s.
+  double min_over(double t0, double t1) const;
+  double max_over(double t0, double t1) const;
+  /// Time-weighted mean over [t0, t1] (trapezoidal).
+  double mean_over(double t0, double t1) const;
+  /// Population standard deviation of sample values with t in [t0, t1].
+  double stddev_over(double t0, double t1) const;
+
+  /// Evenly resampled copy with n points across the full span.
+  TimeSeries resampled(std::size_t n) const;
+
+  /// Keep at most every k-th sample (decimation for long traces). k >= 1.
+  void decimate(std::size_t k);
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace ecnd

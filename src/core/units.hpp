@@ -1,0 +1,75 @@
+#pragma once
+// Units and conversions shared by the fluid models, the control-theory
+// toolkit and the packet-level simulator.
+//
+// Two time domains coexist in this codebase:
+//   * the fluid models and control analysis use continuous time in seconds
+//     (double), because they integrate ODEs;
+//   * the packet simulator uses integer picoseconds (PicoTime), so that event
+//     ordering is exact and independent of floating-point rounding.
+// The helpers here convert between the two and between rate/size units.
+
+#include <cstdint>
+#include <cmath>
+
+namespace ecnd {
+
+/// Integer simulator time in picoseconds. 2^63 ps ~ 106 days: ample.
+using PicoTime = std::int64_t;
+
+inline constexpr PicoTime kPicosPerNano = 1'000;
+inline constexpr PicoTime kPicosPerMicro = 1'000'000;
+inline constexpr PicoTime kPicosPerMilli = 1'000'000'000;
+inline constexpr PicoTime kPicosPerSecond = 1'000'000'000'000;
+
+constexpr PicoTime nanoseconds(double ns) {
+  return static_cast<PicoTime>(ns * static_cast<double>(kPicosPerNano));
+}
+constexpr PicoTime microseconds(double us) {
+  return static_cast<PicoTime>(us * static_cast<double>(kPicosPerMicro));
+}
+constexpr PicoTime milliseconds(double ms) {
+  return static_cast<PicoTime>(ms * static_cast<double>(kPicosPerMilli));
+}
+constexpr PicoTime seconds(double s) {
+  return static_cast<PicoTime>(s * static_cast<double>(kPicosPerSecond));
+}
+
+constexpr double to_seconds(PicoTime t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerSecond);
+}
+constexpr double to_microseconds(PicoTime t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerMicro);
+}
+constexpr double to_milliseconds(PicoTime t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerMilli);
+}
+
+/// Rates are carried as bits per second (double): protocol rate registers,
+/// link capacities and fluid-model flow rates all share this unit.
+using BitsPerSecond = double;
+
+constexpr BitsPerSecond gbps(double g) { return g * 1e9; }
+constexpr BitsPerSecond mbps(double m) { return m * 1e6; }
+constexpr double to_gbps(BitsPerSecond r) { return r / 1e9; }
+constexpr double to_mbps(BitsPerSecond r) { return r / 1e6; }
+
+/// Byte quantities (queue lengths, flow sizes, thresholds).
+using Bytes = std::int64_t;
+
+constexpr Bytes kilobytes(double k) { return static_cast<Bytes>(k * 1e3); }
+constexpr Bytes megabytes(double m) { return static_cast<Bytes>(m * 1e6); }
+constexpr double to_kilobytes(Bytes b) { return static_cast<double>(b) / 1e3; }
+
+/// Serialization time of `bytes` over a link of rate `rate` (bits/s).
+constexpr PicoTime serialization_time(Bytes bytes, BitsPerSecond rate) {
+  const double secs = static_cast<double>(bytes) * 8.0 / rate;
+  return static_cast<PicoTime>(std::llround(secs * static_cast<double>(kPicosPerSecond)));
+}
+
+/// Drain time of a queue of `bytes` at `rate`, in seconds (fluid domain).
+constexpr double drain_seconds(double bytes, BitsPerSecond rate) {
+  return bytes * 8.0 / rate;
+}
+
+}  // namespace ecnd

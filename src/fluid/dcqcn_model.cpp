@@ -1,0 +1,142 @@
+#include "fluid/dcqcn_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ecnd::fluid {
+namespace {
+
+// Numerically safe helpers for the model's exponential terms. All reduce to
+// well-behaved limits as p -> 0 (no marking), which matters because DCQCN's
+// fixed-point p* is typically O(1e-3..1e-2) and transients pass through 0.
+
+/// (1 - p)^x for p in [0,1).
+double pow1m(double p, double x) { return std::exp(x * std::log1p(-p)); }
+
+/// p / ((1-p)^{-n} - 1); limit 1/n as p -> 0.
+double increase_event_factor(double p, double n) {
+  assert(n > 0.0);
+  if (p <= 1e-12) return 1.0 / n;
+  if (p >= 1.0) return 0.0;
+  const double denom = std::expm1(-n * std::log1p(-p));
+  if (denom <= 0.0) return 1.0 / n;
+  return p / denom;
+}
+
+/// 1 - (1-p)^n: probability of >= 1 mark in n packets.
+double mark_within(double p, double n) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  return -std::expm1(n * std::log1p(-p));
+}
+
+constexpr double kMinRatePps = 125.0;  // ~1 Mb/s at 1000B MTU
+
+}  // namespace
+
+DcqcnFluidModel::DcqcnFluidModel(DcqcnFluidParams params) : params_(params) {
+  assert(params_.num_flows >= 1);
+  assert(params_.kmax > params_.kmin);
+  assert(params_.pmax > 0.0 && params_.pmax <= 1.0);
+}
+
+double DcqcnFluidModel::marking_probability(double q_pkts) const {
+  const double kmin = params_.kmin_pkts();
+  const double kmax = params_.kmax_pkts();
+  if (q_pkts <= kmin) return 0.0;
+  if (!params_.red_linear_extension && q_pkts > kmax) return 1.0;
+  return std::min(1.0, (q_pkts - kmin) / (kmax - kmin) * params_.pmax);
+}
+
+std::vector<double> DcqcnFluidModel::initial_state() const {
+  // DCQCN flows start at line rate with alpha = 1 and an empty queue.
+  std::vector<double> x(dim(), 0.0);
+  const double line = params_.capacity_pps();
+  for (int i = 0; i < params_.num_flows; ++i) {
+    x[alpha_index(i)] = 1.0;
+    x[target_rate_index(i)] = line;
+    x[rate_index(i)] = line;
+  }
+  return x;
+}
+
+double DcqcnFluidModel::suggested_dt() const {
+  const double dt = std::min(params_.feedback_delay, params_.tau_cnp) / 8.0;
+  return std::clamp(dt, 5e-8, 1e-6);
+}
+
+DcqcnFluidModel::FlowDerivatives DcqcnFluidModel::flow_rhs(
+    double alpha, double rt, double rc, double p_delayed,
+    double rc_delayed) const {
+  const DcqcnFluidParams& P = params_;
+  const double p = std::clamp(p_delayed, 0.0, 1.0);
+  const double rcd = std::max(rc_delayed, kMinRatePps);
+
+  const double B = P.byte_counter_pkts();
+  const double TRc = P.timer_T * rcd;
+  const double F = P.fast_recovery_steps;
+
+  // Probability of at least one CNP per tau / tau' window (Equations 5-7).
+  const double cnp_prob_tau = mark_within(p, P.tau_cnp * rcd);
+  const double cnp_prob_tau_alpha = mark_within(p, P.tau_alpha * rcd);
+
+  // Rate-increase event factors (byte counter and timer), Equation 6/7.
+  const double byte_factor = increase_event_factor(p, B);          // ~ 1/B
+  const double timer_factor = increase_event_factor(p, TRc);       // ~ 1/(T Rc)
+  const double byte_ai = pow1m(p, F * B);                          // P(in AI, byte)
+  const double timer_ai = pow1m(p, F * TRc);                       // P(in AI, timer)
+
+  FlowDerivatives d{};
+  // Equation 5.
+  d.dalpha = P.g / P.tau_alpha * (cnp_prob_tau_alpha - alpha);
+  // Equation 6.
+  d.dtarget = -(rt - rc) / P.tau_cnp * cnp_prob_tau +
+              P.rate_ai_pps() * rcd * byte_ai * byte_factor +
+              P.rate_ai_pps() * rcd * timer_ai * timer_factor;
+  // Equation 7.
+  d.drate = -(rc * alpha) / (2.0 * P.tau_cnp) * cnp_prob_tau +
+            (rt - rc) / 2.0 * rcd * byte_factor +
+            (rt - rc) / 2.0 * rcd * timer_factor;
+  return d;
+}
+
+void DcqcnFluidModel::rhs(double t, std::span<const double> x, const History& past,
+                          std::span<double> dxdt) const {
+  const DcqcnFluidParams& P = params_;
+  const double delay = P.feedback_delay + P.feedback_jitter.value(t);
+  const double t_delayed = t - delay;
+
+  // Equation 4: queue evolution, gated so an empty queue cannot go negative.
+  double sum_rc = 0.0;
+  for (int i = 0; i < P.num_flows; ++i) sum_rc += x[rate_index(i)];
+  const double q = x[queue_index()];
+  double dq = sum_rc - P.capacity_pps();
+  if (q <= 0.0 && dq < 0.0) dq = 0.0;
+  dxdt[queue_index()] = dq;
+
+  const double q_delayed = past.value(queue_index(), t_delayed);
+  const double p_delayed = marking_probability(q_delayed);
+
+  for (int i = 0; i < P.num_flows; ++i) {
+    const double rc_delayed = past.value(rate_index(i), t_delayed);
+    const FlowDerivatives d =
+        flow_rhs(x[alpha_index(i)], x[target_rate_index(i)], x[rate_index(i)],
+                 p_delayed, rc_delayed);
+    dxdt[alpha_index(i)] = d.dalpha;
+    dxdt[target_rate_index(i)] = d.dtarget;
+    dxdt[rate_index(i)] = d.drate;
+  }
+}
+
+void DcqcnFluidModel::clamp(std::span<double> x) const {
+  const double line = params_.capacity_pps();
+  x[queue_index()] = std::max(0.0, x[queue_index()]);
+  for (int i = 0; i < params_.num_flows; ++i) {
+    x[alpha_index(i)] = std::clamp(x[alpha_index(i)], 0.0, 1.0);
+    x[target_rate_index(i)] = std::clamp(x[target_rate_index(i)], kMinRatePps, line);
+    x[rate_index(i)] = std::clamp(x[rate_index(i)], kMinRatePps, line);
+  }
+}
+
+}  // namespace ecnd::fluid

@@ -1,0 +1,113 @@
+#include "fluid/dde_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecnd::fluid {
+
+void History::append(double t, std::span<const double> x) {
+  assert(x.size() == dim_);
+  assert(times_.empty() || t >= times_.back());
+  times_.push_back(t);
+  states_.insert(states_.end(), x.begin(), x.end());
+}
+
+double History::value(std::size_t var, double t) const {
+  assert(var < dim_);
+  assert(!times_.empty());
+  const std::size_t n = times_.size();
+  if (t <= times_[start_]) return states_[start_ * dim_ + var];
+  if (t >= times_[n - 1]) return states_[(n - 1) * dim_ + var];
+  // Binary search over [start_, n).
+  const auto begin = times_.begin() + static_cast<std::ptrdiff_t>(start_);
+  const auto it = std::lower_bound(begin, times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  const double vlo = states_[lo * dim_ + var];
+  const double vhi = states_[hi * dim_ + var];
+  if (span <= 0.0) return vhi;
+  const double w = (t - times_[lo]) / span;
+  return vlo + w * (vhi - vlo);
+}
+
+void History::trim_before(double t_keep) {
+  std::size_t new_start = start_;
+  while (new_start + 2 < times_.size() && times_[new_start + 1] < t_keep) ++new_start;
+  if (new_start == start_) return;
+  start_ = new_start;
+  // Physically compact occasionally to bound memory.
+  if (start_ > 4096 && start_ > times_.size() / 2) {
+    times_.erase(times_.begin(), times_.begin() + static_cast<std::ptrdiff_t>(start_));
+    states_.erase(states_.begin(),
+                  states_.begin() + static_cast<std::ptrdiff_t>(start_ * dim_));
+    start_ = 0;
+  }
+}
+
+DdeSolver::DdeSolver(const DdeSystem& system, std::vector<double> initial_state,
+                     double t0, double dt)
+    : system_(system),
+      t_(t0),
+      dt_(dt),
+      x_(std::move(initial_state)),
+      history_(system.dim()),
+      k1_(system.dim()),
+      k2_(system.dim()),
+      k3_(system.dim()),
+      k4_(system.dim()),
+      tmp_(system.dim()),
+      last_trim_(t0) {
+  assert(x_.size() == system_.dim());
+  assert(dt_ > 0.0);
+  history_.append(t_, x_);
+}
+
+void DdeSolver::step() {
+  const std::size_t n = x_.size();
+  const double h = dt_;
+
+  system_.rhs(t_, x_, history_, k1_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = x_[i] + 0.5 * h * k1_[i];
+  system_.clamp(tmp_);
+  system_.rhs(t_ + 0.5 * h, tmp_, history_, k2_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = x_[i] + 0.5 * h * k2_[i];
+  system_.clamp(tmp_);
+  system_.rhs(t_ + 0.5 * h, tmp_, history_, k3_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = x_[i] + h * k3_[i];
+  system_.clamp(tmp_);
+  system_.rhs(t_ + h, tmp_, history_, k4_);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    x_[i] += h / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+  }
+  system_.clamp(x_);
+  t_ += h;
+  history_.append(t_, x_);
+
+  // Trim history we can never look back into again (keep 2x max delay).
+  const double keep = system_.max_delay() * 2.0 + 10.0 * dt_;
+  if (t_ - last_trim_ > keep) {
+    history_.trim_before(t_ - keep);
+    last_trim_ = t_;
+  }
+}
+
+void DdeSolver::run_until(
+    double t_end,
+    const std::function<void(double, std::span<const double>)>& observer,
+    double sample_interval) {
+  double next_sample = t_;
+  while (t_ < t_end - 1e-15) {
+    if (observer && t_ >= next_sample) {
+      observer(t_, x_);
+      if (sample_interval > 0.0) {
+        while (next_sample <= t_) next_sample += sample_interval;
+      }
+    }
+    step();
+  }
+  if (observer) observer(t_, x_);
+}
+
+}  // namespace ecnd::fluid

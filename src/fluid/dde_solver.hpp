@@ -1,0 +1,106 @@
+#pragma once
+// Delay-differential-equation (DDE) integrator.
+//
+// The DCQCN and TIMELY fluid models (paper Figures 1 and 7) are systems of
+// ODEs whose right-hand sides reference *past* state: DCQCN's marking
+// probability and rate enter with control-loop delay tau*, TIMELY's queue
+// samples enter with the (state-dependent) feedback delay tau'. We integrate
+// them with a fixed-step classic RK4 scheme plus a dense history buffer;
+// delayed state is read back through linear interpolation.
+//
+// Accuracy note: for RK4 stage evaluations at t + dt/2 and t + dt, a delayed
+// lookup at (stage_time - tau) lands strictly inside recorded history as long
+// as tau >= dt. Models here have minimum delays of a few microseconds and we
+// integrate with sub-microsecond steps, so this always holds; lookups beyond
+// the last recorded point clamp to it (and before t0 clamp to the initial
+// state, i.e. a constant pre-history, which matches the models' semantics of
+// "flows start at t=0 with an empty queue").
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace ecnd::fluid {
+
+/// Dense solution history: state vectors recorded at each accepted step.
+/// Provides interpolated random access for delayed right-hand-side terms.
+class History {
+ public:
+  explicit History(std::size_t dim) : dim_(dim) {}
+
+  std::size_t dim() const { return dim_; }
+  bool empty() const { return times_.empty(); }
+  double first_time() const { return times_.empty() ? 0.0 : times_.front(); }
+  double last_time() const { return times_.empty() ? 0.0 : times_.back(); }
+
+  void append(double t, std::span<const double> x);
+
+  /// Value of state variable `var` at time t (linear interpolation, clamped
+  /// to the recorded span).
+  double value(std::size_t var, double t) const;
+
+  /// Drop history strictly older than t_keep (ring-buffer style trimming so
+  /// long runs don't grow unboundedly). Keeps at least two points.
+  void trim_before(double t_keep);
+
+ private:
+  std::size_t dim_;
+  std::vector<double> times_;
+  std::vector<double> states_;  // row-major: states_[i * dim_ + var]
+  std::size_t start_ = 0;       // logical start after trimming
+};
+
+/// A delayed dynamical system dx/dt = f(t, x(t), history).
+class DdeSystem {
+ public:
+  virtual ~DdeSystem() = default;
+
+  /// Number of state variables.
+  virtual std::size_t dim() const = 0;
+
+  /// Compute dxdt at time t given current state x and access to past state.
+  virtual void rhs(double t, std::span<const double> x, const History& past,
+                   std::span<double> dxdt) const = 0;
+
+  /// Project the state back into its feasible region after each step
+  /// (e.g. queue >= 0, 0 < rate <= line rate). Default: no-op.
+  virtual void clamp(std::span<double> x) const { (void)x; }
+
+  /// Largest delay the rhs ever looks back by; the solver keeps at least this
+  /// much history (plus slack).
+  virtual double max_delay() const = 0;
+};
+
+/// Fixed-step RK4 driver over a DdeSystem.
+class DdeSolver {
+ public:
+  DdeSolver(const DdeSystem& system, std::vector<double> initial_state,
+            double t0, double dt);
+
+  double time() const { return t_; }
+  std::span<const double> state() const { return x_; }
+  const History& history() const { return history_; }
+
+  /// Advance one step of size dt.
+  void step();
+
+  /// Advance until time t_end, invoking `observer(t, x)` every
+  /// `sample_interval` seconds (and at t_end). Pass a zero/negative interval
+  /// to observe every step.
+  void run_until(double t_end,
+                 const std::function<void(double, std::span<const double>)>& observer,
+                 double sample_interval);
+
+ private:
+  const DdeSystem& system_;
+  double t_;
+  double dt_;
+  std::vector<double> x_;
+  History history_;
+  // Scratch buffers for RK4 stages (avoid per-step allocation).
+  std::vector<double> k1_, k2_, k3_, k4_, tmp_;
+  double last_trim_ = 0.0;
+};
+
+}  // namespace ecnd::fluid

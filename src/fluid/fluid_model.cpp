@@ -1,0 +1,34 @@
+#include "fluid/fluid_model.hpp"
+
+#include <string>
+#include <utility>
+
+namespace ecnd::fluid {
+
+FluidRun simulate(const FluidModel& model, double duration,
+                  double sample_interval, std::vector<double> initial_override) {
+  std::vector<double> x0 =
+      initial_override.empty() ? model.initial_state() : std::move(initial_override);
+
+  FluidRun run;
+  run.queue_bytes.set_name("queue_bytes");
+  run.flow_rate_gbps.reserve(static_cast<std::size_t>(model.num_flows()));
+  for (int i = 0; i < model.num_flows(); ++i) {
+    run.flow_rate_gbps.emplace_back("flow" + std::to_string(i) + "_gbps");
+  }
+
+  DdeSolver solver(model, std::move(x0), 0.0, model.suggested_dt());
+  solver.run_until(
+      duration,
+      [&](double t, std::span<const double> x) {
+        run.queue_bytes.push(t, model.queue_bytes(x));
+        for (int i = 0; i < model.num_flows(); ++i) {
+          run.flow_rate_gbps[static_cast<std::size_t>(i)].push(
+              t, model.flow_rate_bps(x, i) / 1e9);
+        }
+      },
+      sample_interval);
+  return run;
+}
+
+}  // namespace ecnd::fluid

@@ -1,0 +1,63 @@
+#pragma once
+// Common interface for the paper's fluid models and a small run harness that
+// turns a model into queue/rate time-series (what Figures 2, 4, 8, 9, 12, 18,
+// 19 and 20 plot).
+//
+// Unit convention inside every fluid model: rates are in PACKETS PER SECOND
+// and queue lengths in PACKETS. The DCQCN model's exponential terms
+// (1 - p)^{tau * Rc} count packets seen in an interval, so packet units are
+// the natural (and the original paper's) choice; accessors convert to
+// bits-per-second / bytes at the boundary.
+
+#include <span>
+#include <vector>
+
+#include "core/timeseries.hpp"
+#include "fluid/dde_solver.hpp"
+
+namespace ecnd::fluid {
+
+class FluidModel : public DdeSystem {
+ public:
+  /// Number of modeled flows N.
+  virtual int num_flows() const = 0;
+
+  /// Index of the queue variable within the state vector.
+  virtual std::size_t queue_index() const = 0;
+
+  /// Index of flow i's sending-rate variable.
+  virtual std::size_t rate_index(int flow) const = 0;
+
+  /// Initial condition (the protocol's specified start state).
+  virtual std::vector<double> initial_state() const = 0;
+
+  /// A safe integration step for this parameterization.
+  virtual double suggested_dt() const = 0;
+
+  /// MTU used for packet<->byte conversions.
+  virtual double mtu_bytes() const = 0;
+
+  double queue_bytes(std::span<const double> x) const {
+    return x[queue_index()] * mtu_bytes();
+  }
+  double flow_rate_bps(std::span<const double> x, int flow) const {
+    return x[rate_index(flow)] * mtu_bytes() * 8.0;
+  }
+};
+
+/// Result of integrating a fluid model: bottleneck queue (bytes) and per-flow
+/// rate (Gb/s) traces.
+struct FluidRun {
+  TimeSeries queue_bytes;
+  std::vector<TimeSeries> flow_rate_gbps;
+};
+
+/// Integrate `model` from its initial state to `duration` seconds, sampling
+/// every `sample_interval` seconds. `initial_override`, when non-empty,
+/// replaces the model's default initial state (used by the unequal-start
+/// experiments of Figures 9 and 12).
+FluidRun simulate(const FluidModel& model, double duration,
+                  double sample_interval,
+                  std::vector<double> initial_override = {});
+
+}  // namespace ecnd::fluid

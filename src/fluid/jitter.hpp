@@ -1,0 +1,39 @@
+#pragma once
+// Feedback-jitter process for the Figure-20 experiment.
+//
+// The paper injects uniform random jitter in [0, J] into the feedback delay
+// of both fluid models (tau* for DCQCN, tau' for TIMELY). Inside an RK4
+// integrator the jitter must be a *deterministic function of time* (stages
+// re-evaluate the RHS at interleaved times), so we model it as a piecewise-
+// constant process: time is bucketed into intervals of `resample_interval`
+// and each bucket's value is drawn by hashing (seed, bucket index). This
+// gives O(1) random access, exact reproducibility, and no solver-order
+// dependence.
+
+#include <cstdint>
+
+namespace ecnd::fluid {
+
+class JitterProcess {
+ public:
+  /// A disabled process (amplitude 0) — value(t) == 0 everywhere.
+  JitterProcess() = default;
+
+  /// Uniform jitter in [0, amplitude_s) seconds, redrawn every
+  /// resample_interval_s seconds.
+  JitterProcess(double amplitude_s, double resample_interval_s, std::uint64_t seed)
+      : amplitude_(amplitude_s), interval_(resample_interval_s), seed_(seed) {}
+
+  bool enabled() const { return amplitude_ > 0.0 && interval_ > 0.0; }
+  double amplitude() const { return amplitude_; }
+
+  /// Jitter value at time t (>= 0). Deterministic in (seed, t).
+  double value(double t) const;
+
+ private:
+  double amplitude_ = 0.0;
+  double interval_ = 0.0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace ecnd::fluid

@@ -1,0 +1,187 @@
+#include "fluid/pi_models.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ecnd::fluid {
+namespace {
+
+constexpr double kMinRatePps = 1250.0;  // 10 Mb/s at 1000B MTU
+
+}  // namespace
+
+DcqcnPiFluidModel::DcqcnPiFluidModel(DcqcnFluidParams params, PiControllerParams pi)
+    : params_(params), pi_(pi), flow_dynamics_(params) {}
+
+std::vector<double> DcqcnPiFluidModel::initial_state() const {
+  std::vector<double> x(dim(), 0.0);
+  const double line = params_.capacity_pps();
+  x[marking_index()] = 0.0;
+  for (int i = 0; i < params_.num_flows; ++i) {
+    x[alpha_index(i)] = 1.0;
+    x[target_rate_index(i)] = line;
+    x[rate_index(i)] = line;
+  }
+  return x;
+}
+
+void DcqcnPiFluidModel::rhs(double t, std::span<const double> x,
+                            const History& past, std::span<double> dxdt) const {
+  const DcqcnFluidParams& P = params_;
+  const double delay = P.feedback_delay + P.feedback_jitter.value(t);
+  const double t_delayed = t - delay;
+
+  double sum_rc = 0.0;
+  for (int i = 0; i < P.num_flows; ++i) sum_rc += x[rate_index(i)];
+  const double q = x[queue_index()];
+  double dq = sum_rc - P.capacity_pps();
+  if (q <= 0.0 && dq < 0.0) dq = 0.0;
+  dxdt[queue_index()] = dq;
+
+  // Equation 32 at the switch: the marking probability is now an integrator
+  // over the queue error instead of the static RED profile.
+  const double p = x[marking_index()];
+  double dp = pi_.k_p * dq + pi_.k_i * (q - pi_.qref_pkts);
+  // Anti-windup: freeze the integrator when p is pinned at a bound and the
+  // update would push it further out.
+  if ((p <= 0.0 && dp < 0.0) || (p >= 1.0 && dp > 0.0)) dp = 0.0;
+  dxdt[marking_index()] = dp;
+
+  // Senders receive the *delayed* controller output, exactly as they
+  // received the delayed RED marking probability before.
+  const double p_delayed = std::clamp(past.value(marking_index(), t_delayed), 0.0, 1.0);
+  for (int i = 0; i < P.num_flows; ++i) {
+    const double rc_delayed = past.value(rate_index(i), t_delayed);
+    const DcqcnFluidModel::FlowDerivatives d = flow_dynamics_.flow_rhs(
+        x[alpha_index(i)], x[target_rate_index(i)], x[rate_index(i)], p_delayed,
+        rc_delayed);
+    dxdt[alpha_index(i)] = d.dalpha;
+    dxdt[target_rate_index(i)] = d.dtarget;
+    dxdt[rate_index(i)] = d.drate;
+  }
+}
+
+void DcqcnPiFluidModel::clamp(std::span<double> x) const {
+  const double line = params_.capacity_pps();
+  x[queue_index()] = std::max(0.0, x[queue_index()]);
+  x[marking_index()] = std::clamp(x[marking_index()], 0.0, 1.0);
+  for (int i = 0; i < params_.num_flows; ++i) {
+    x[alpha_index(i)] = std::clamp(x[alpha_index(i)], 0.0, 1.0);
+    x[target_rate_index(i)] = std::clamp(x[target_rate_index(i)], 125.0, line);
+    x[rate_index(i)] = std::clamp(x[rate_index(i)], 125.0, line);
+  }
+}
+
+PatchedTimelyPiFluidModel::PatchedTimelyPiFluidModel(TimelyFluidParams params,
+                                                     TimelyPiParams pi)
+    : params_(params), pi_(pi) {
+  assert(pi_.qref_pkts > params_.qlow_pkts());
+  assert(pi_.qref_pkts < params_.qhigh_pkts());
+}
+
+std::vector<double> PatchedTimelyPiFluidModel::initial_state() const {
+  std::vector<double> x(dim(), 0.0);
+  const double start = params_.capacity_pps() / params_.num_flows;
+  for (int i = 0; i < params_.num_flows; ++i) {
+    x[rate_index(i)] = std::max(start, kMinRatePps);
+  }
+  return x;
+}
+
+double PatchedTimelyPiFluidModel::suggested_dt() const {
+  const double min_delay = params_.base_feedback_delay();
+  return std::clamp(std::min(min_delay, params_.d_min_rtt) / 8.0, 5e-8, 5e-7);
+}
+
+double PatchedTimelyPiFluidModel::update_interval(double rate_pps) const {
+  const double r = std::max(rate_pps, kMinRatePps);
+  return std::max(params_.segment_pkts() / r, params_.d_min_rtt);
+}
+
+double PatchedTimelyPiFluidModel::feedback_delay(double q_pkts) const {
+  return q_pkts / params_.capacity_pps() + params_.base_feedback_delay();
+}
+
+double PatchedTimelyPiFluidModel::max_delay() const {
+  const double max_tau_prime =
+      4.0 * params_.qhigh_pkts() / params_.capacity_pps() +
+      params_.base_feedback_delay();
+  const double max_tau_star =
+      std::max(params_.segment_pkts() / kMinRatePps, params_.d_min_rtt);
+  return max_tau_prime + max_tau_star + params_.feedback_jitter.amplitude();
+}
+
+void PatchedTimelyPiFluidModel::rhs(double t, std::span<const double> x,
+                                    const History& past,
+                                    std::span<double> dxdt) const {
+  const TimelyFluidParams& P = params_;
+  const double C = P.capacity_pps();
+
+  double sum_r = 0.0;
+  for (int i = 0; i < P.num_flows; ++i) sum_r += x[rate_index(i)];
+  const double q = x[queue_index()];
+  double dq = sum_r - C;
+  if (q <= 0.0 && dq < 0.0) dq = 0.0;
+  dxdt[queue_index()] = dq;
+
+  const double tau_prime = feedback_delay(q);
+  const double q_hat = past.value(queue_index(), t - tau_prime);
+
+  // Rate of change of the delayed observation: the queue law evaluated on
+  // delayed rates (gated the same way the queue itself is).
+  double sum_r_delayed = 0.0;
+  for (int i = 0; i < P.num_flows; ++i) {
+    sum_r_delayed += past.value(rate_index(i), t - tau_prime);
+  }
+  double dq_hat = sum_r_delayed - C;
+  if (q_hat <= 0.0 && dq_hat < 0.0) dq_hat = 0.0;
+
+  const double error = (q_hat - pi_.qref_pkts) / pi_.qref_pkts;
+  const double derror = dq_hat / pi_.qref_pkts;
+
+  for (int i = 0; i < P.num_flows; ++i) {
+    const double rate = x[rate_index(i)];
+    const double grad = x[gradient_index(i)];
+    const double p = x[pi_state_index(i)];
+    const double tau_star = update_interval(rate);
+
+    // Gradient EWMA (Equation 22), as in the base model.
+    const double q_prev = past.value(queue_index(), t - tau_prime - tau_star);
+    const double normalized = (q_hat - q_prev) / (C * P.d_min_rtt);
+    dxdt[gradient_index(i)] = P.alpha_ewma / tau_star * (-grad + normalized);
+
+    // Local PI controller over the host's own delayed queue observation
+    // (Equation 32 evaluated at the end host). The host applies one update
+    // per completion event, i.e. every tau*_i — so the effective continuous
+    // gain scales with 1/tau*_i and is *per-flow*. This asymmetry is part of
+    // why per-host integrators end up at different p_i (Figure 19).
+    dxdt[pi_state_index(i)] = (pi_.k_p * derror + pi_.k_i * error) / tau_star;
+
+    // Equation 29 with the PI output replacing the (q - q')/q' error term.
+    double dr;
+    if (q_hat < P.qlow_pkts()) {
+      dr = P.delta_pps() / tau_star;
+    } else if (q_hat > P.qhigh_pkts()) {
+      dr = -P.beta_high / tau_star * (1.0 - P.qhigh_pkts() / q_hat) * rate;
+    } else {
+      const double w = PatchedTimelyFluidModel::weight(grad);
+      dr = (1.0 - w) * P.delta_pps() / tau_star -
+           w * P.beta / tau_star * rate * p;
+    }
+    dxdt[rate_index(i)] = dr;
+  }
+}
+
+void PatchedTimelyPiFluidModel::clamp(std::span<double> x) const {
+  const double qcap = 4.0 * params_.qhigh_pkts();
+  x[queue_index()] = std::clamp(x[queue_index()], 0.0, qcap);
+  for (int i = 0; i < params_.num_flows; ++i) {
+    x[rate_index(i)] =
+        std::clamp(x[rate_index(i)], kMinRatePps, params_.capacity_pps());
+    x[gradient_index(i)] = std::clamp(x[gradient_index(i)], -100.0, 100.0);
+    x[pi_state_index(i)] = std::clamp(x[pi_state_index(i)], -10.0, 10.0);
+  }
+}
+
+}  // namespace ecnd::fluid

@@ -1,0 +1,199 @@
+#include "fluid/timely_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ecnd::fluid {
+namespace {
+
+// Rates are clamped to >= 10 Mb/s equivalents: TIMELY's additive increase is
+// 10 Mb/s per update, so lower rates are instantaneous transients, and the
+// clamp bounds tau* = Seg/R (and with it the history the solver must keep).
+constexpr double kMinRatePps = 1250.0;  // 10 Mb/s at 1000B MTU
+
+// The fluid queue is capped at 4x the T_high threshold; TIMELY's
+// multiplicative decrease beyond T_high makes larger excursions unphysical,
+// and the cap bounds the state-dependent feedback delay tau'(q).
+constexpr double kQueueCapFactor = 4.0;
+
+}  // namespace
+
+TimelyFluidBase::TimelyFluidBase(TimelyFluidParams params) : params_(params) {
+  assert(params_.num_flows >= 1);
+  assert(params_.t_high > params_.t_low);
+  assert(params_.d_min_rtt > 0.0);
+}
+
+std::vector<double> TimelyFluidBase::initial_state() const {
+  // TIMELY flows start at C/N (the paper's validation setup, §4.1) with a
+  // zero gradient and an empty queue.
+  std::vector<double> x(dim(), 0.0);
+  const double start = params_.capacity_pps() / params_.num_flows;
+  for (int i = 0; i < params_.num_flows; ++i) {
+    x[rate_index(i)] = std::max(start, kMinRatePps);
+    x[gradient_index(i)] = 0.0;
+  }
+  return x;
+}
+
+double TimelyFluidBase::suggested_dt() const {
+  const double min_delay = params_.base_feedback_delay();
+  return std::clamp(std::min(min_delay, params_.d_min_rtt) / 8.0, 5e-8, 5e-7);
+}
+
+void TimelyFluidBase::clamp(std::span<double> x) const {
+  const double qcap = kQueueCapFactor * params_.qhigh_pkts();
+  x[queue_index()] = std::clamp(x[queue_index()], 0.0, qcap);
+  for (int i = 0; i < params_.num_flows; ++i) {
+    x[rate_index(i)] =
+        std::clamp(x[rate_index(i)], kMinRatePps, params_.capacity_pps());
+    x[gradient_index(i)] = std::clamp(x[gradient_index(i)], -100.0, 100.0);
+  }
+}
+
+double TimelyFluidBase::max_delay() const {
+  const double max_tau_prime =
+      kQueueCapFactor * params_.qhigh_pkts() / params_.capacity_pps() +
+      params_.base_feedback_delay();
+  const double max_tau_star =
+      std::max(params_.segment_pkts() / kMinRatePps, params_.d_min_rtt);
+  return max_tau_prime + max_tau_star + params_.feedback_jitter.amplitude();
+}
+
+double TimelyFluidBase::update_interval(double rate_pps) const {
+  // Equation 23.
+  const double r = std::max(rate_pps, kMinRatePps);
+  return std::max(params_.segment_pkts() / r, params_.d_min_rtt);
+}
+
+double TimelyFluidBase::feedback_delay(double q_pkts) const {
+  // Equation 24: q/C + MTU/C + D_prop (all in packet units, MTU/C = 1/C_pps).
+  return q_pkts / params_.capacity_pps() + params_.base_feedback_delay();
+}
+
+double TimelyFluidBase::measured_queue(double t, double q_now,
+                                       const History& past) const {
+  const double jitter = params_.feedback_jitter.value(t);
+  const double tau_prime = feedback_delay(q_now) + jitter;
+  const double sample = past.value(queue_index(), t - tau_prime);
+  // Reverse-path jitter shows up as extra apparent queueing delay.
+  return sample + jitter * params_.capacity_pps();
+}
+
+void TimelyFluidBase::gradient_rhs(double t, std::span<const double> x,
+                                   const History& past,
+                                   std::span<double> dxdt) const {
+  // Equation 22. The two queue samples that form the gradient are one rate-
+  // update interval apart; both are read through the measured-queue lens so
+  // jitter perturbs the *difference* (the paper's "noisy feedback" effect).
+  const double q_now = x[queue_index()];
+  const double jitter = params_.feedback_jitter.value(t);
+  const double tau_prime = feedback_delay(q_now) + jitter;
+  const double q_recent = past.value(queue_index(), t - tau_prime) +
+                          jitter * params_.capacity_pps();
+  for (int i = 0; i < params_.num_flows; ++i) {
+    const double tau_star = update_interval(x[rate_index(i)]);
+    const double jitter_prev = params_.feedback_jitter.value(t - tau_star);
+    const double q_prev =
+        past.value(queue_index(), t - tau_prime - tau_star) +
+        jitter_prev * params_.capacity_pps();
+    const double normalized = (q_recent - q_prev) /
+                              (params_.capacity_pps() * params_.d_min_rtt);
+    dxdt[gradient_index(i)] = params_.alpha_ewma / tau_star *
+                              (-x[gradient_index(i)] + normalized);
+  }
+}
+
+void TimelyFluidModel::rhs(double t, std::span<const double> x,
+                           const History& past, std::span<double> dxdt) const {
+  const TimelyFluidParams& P = params_;
+
+  // Equation 20.
+  double sum_r = 0.0;
+  for (int i = 0; i < P.num_flows; ++i) sum_r += x[rate_index(i)];
+  const double q = x[queue_index()];
+  double dq = sum_r - P.capacity_pps();
+  if (q <= 0.0 && dq < 0.0) dq = 0.0;
+  dxdt[queue_index()] = dq;
+
+  gradient_rhs(t, x, past, dxdt);
+
+  const double q_hat = measured_queue(t, q, past);
+  for (int i = 0; i < P.num_flows; ++i) {
+    const double rate = x[rate_index(i)];
+    const double grad = x[gradient_index(i)];
+    const double tau_star = update_interval(rate);
+    double dr;
+    if (q_hat < P.qlow_pkts()) {
+      dr = P.delta_pps() / tau_star;  // additive increase below T_low
+    } else if (q_hat > P.qhigh_pkts()) {
+      dr = -P.beta_high / tau_star * (1.0 - P.qhigh_pkts() / q_hat) * rate;
+    } else if (P.strict_gradient_zero ? (grad < 0.0) : (grad <= 0.0)) {
+      dr = P.delta_pps() / tau_star;  // gradient-based additive increase
+    } else {
+      dr = -grad * P.beta / tau_star * rate;  // gradient-based decrease
+    }
+    dxdt[rate_index(i)] = dr;
+  }
+}
+
+TimelyFluidParams patched_timely_defaults() {
+  TimelyFluidParams p;
+  p.beta = 0.008;
+  p.segment = kilobytes(16.0);
+  return p;
+}
+
+double PatchedTimelyFluidModel::weight(double gradient) {
+  // Equation 30: linear ramp from 0 at g = -1/4 to 1 at g = +1/4.
+  if (gradient <= -0.25) return 0.0;
+  if (gradient >= 0.25) return 1.0;
+  return 2.0 * gradient + 0.5;
+}
+
+double PatchedTimelyFluidModel::fixed_point_queue_pkts() const {
+  // Theorem 5 / Equation 31: q* = N delta q' / (beta C) + q'.
+  const TimelyFluidParams& P = params_;
+  return P.num_flows * P.delta_pps() * qref_pkts() /
+             (P.beta * P.capacity_pps()) +
+         qref_pkts();
+}
+
+void PatchedTimelyFluidModel::rhs(double t, std::span<const double> x,
+                                  const History& past,
+                                  std::span<double> dxdt) const {
+  const TimelyFluidParams& P = params_;
+
+  double sum_r = 0.0;
+  for (int i = 0; i < P.num_flows; ++i) sum_r += x[rate_index(i)];
+  const double q = x[queue_index()];
+  double dq = sum_r - P.capacity_pps();
+  if (q <= 0.0 && dq < 0.0) dq = 0.0;
+  dxdt[queue_index()] = dq;
+
+  gradient_rhs(t, x, past, dxdt);
+
+  const double q_hat = measured_queue(t, q, past);
+  const double qref = qref_pkts();
+  for (int i = 0; i < P.num_flows; ++i) {
+    const double rate = x[rate_index(i)];
+    const double grad = x[gradient_index(i)];
+    const double tau_star = update_interval(rate);
+    double dr;
+    if (q_hat < P.qlow_pkts()) {
+      dr = P.delta_pps() / tau_star;
+    } else if (q_hat > P.qhigh_pkts()) {
+      dr = -P.beta_high / tau_star * (1.0 - P.qhigh_pkts() / q_hat) * rate;
+    } else {
+      // Equation 29 middle branch: smooth blend of additive increase and an
+      // absolute-queue-error multiplicative decrease.
+      const double w = weight(grad);
+      dr = (1.0 - w) * P.delta_pps() / tau_star -
+           w * P.beta / tau_star * rate * (q_hat - qref) / qref;
+    }
+    dxdt[rate_index(i)] = dr;
+  }
+}
+
+}  // namespace ecnd::fluid

@@ -1,0 +1,140 @@
+#pragma once
+// TIMELY fluid models — paper Figure 7 (Equations 20-24), the Equation-28
+// strict-gradient variant, and Patched TIMELY (Equations 29-30).
+//
+// State vector layout (packet units):
+//   x[0]            q    bottleneck queue (packets)
+//   x[1 + 2i + 0]   R_i  per-flow rate (packets/s)
+//   x[1 + 2i + 1]   g_i  per-flow normalized RTT gradient (dimensionless)
+//
+// Dynamics:
+//   Eq 20: dq/dt  = sum_i R_i - C                         (clamped q >= 0)
+//   Eq 21: dR_i/dt branches on the delayed queue sample q(t - tau') against
+//          C*T_low / C*T_high and on the gradient sign (original TIMELY), or
+//          uses the smooth weighted update of Eq 29 (patched TIMELY).
+//   Eq 22: dg_i/dt = a/tau*_i * [-g_i + (q(t-tau') - q(t-tau'-tau*_i)) / (C D_minRTT)]
+//   Eq 23: tau*_i  = max(Seg/R_i, D_minRTT)       (rate-update interval)
+//   Eq 24: tau'    = q/C + MTU/C + D_prop         (state-dependent feedback delay)
+//
+// Feedback jitter (Figure 20): unlike ECN, delay-based feedback *is* the
+// measurement itself — reverse-path jitter J(t) both postpones the sample and
+// adds J(t) worth of apparent queueing. We therefore use the measured sample
+//   q_hat(t) = q(t - tau' - J(t)) + C * J(t)
+// in every place Algorithm 1 reads newRTT.
+
+#include "core/units.hpp"
+#include "fluid/fluid_model.hpp"
+#include "fluid/jitter.hpp"
+
+namespace ecnd::fluid {
+
+struct TimelyFluidParams {
+  BitsPerSecond link_rate = gbps(10.0);  ///< bottleneck capacity C
+  double mtu_bytes = 1000.0;
+  int num_flows = 2;
+
+  // Algorithm-1 parameters, defaults from [21] as quoted in the paper (§4.1).
+  double beta = 0.8;            ///< multiplicative decrease factor
+  /// Decrease factor of the RTT > T_high emergency branch. Original TIMELY
+  /// uses `beta` here too; patched TIMELY shrinks `beta` to 0.008 for the
+  /// gradient-zone term but must keep the emergency brake strong, otherwise
+  /// overload beyond T_high can outrun the 0.8%-per-update decrease and the
+  /// queue diverges (visible at packet level for ~16+ flows).
+  double beta_high = 0.8;
+  double alpha_ewma = 0.875;    ///< EWMA smoothing factor
+  double t_low = 50e-6;         ///< T_low (s)
+  double t_high = 500e-6;       ///< T_high (s)
+  double d_min_rtt = 20e-6;     ///< D_minRTT normalization (s)
+  BitsPerSecond delta = mbps(10.0);  ///< additive increase step
+  Bytes segment = kilobytes(16.0);   ///< completion-event chunk size Seg
+  double d_prop = 2e-6;         ///< propagation delay component of RTT
+
+  /// Equation 28 variant: rate increases only for g < 0 (strictly), turning
+  /// TIMELY's zero fixed points into infinitely many. Keeps everything else
+  /// identical; the paper notes the two are indistinguishable in practice.
+  bool strict_gradient_zero = false;
+
+  JitterProcess feedback_jitter;  ///< reverse-path jitter (Figure 20)
+
+  double capacity_pps() const { return link_rate / (8.0 * mtu_bytes); }
+  double delta_pps() const { return delta / (8.0 * mtu_bytes); }
+  double segment_pkts() const { return static_cast<double>(segment) / mtu_bytes; }
+  double qlow_pkts() const { return capacity_pps() * t_low; }
+  double qhigh_pkts() const { return capacity_pps() * t_high; }
+  /// Base (queue-free) component of tau'.
+  double base_feedback_delay() const { return 1.0 / capacity_pps() + d_prop; }
+};
+
+/// Shared machinery of the original and patched models.
+class TimelyFluidBase : public FluidModel {
+ public:
+  explicit TimelyFluidBase(TimelyFluidParams params);
+
+  const TimelyFluidParams& params() const { return params_; }
+
+  int num_flows() const override { return params_.num_flows; }
+  std::size_t queue_index() const override { return 0; }
+  std::size_t rate_index(int flow) const override {
+    return 1 + 2 * static_cast<std::size_t>(flow);
+  }
+  std::size_t gradient_index(int flow) const {
+    return 1 + 2 * static_cast<std::size_t>(flow) + 1;
+  }
+  std::vector<double> initial_state() const override;
+  double suggested_dt() const override;
+  double mtu_bytes() const override { return params_.mtu_bytes; }
+
+  std::size_t dim() const override {
+    return 1 + 2 * static_cast<std::size_t>(params_.num_flows);
+  }
+  void clamp(std::span<double> x) const override;
+  double max_delay() const override;
+
+  /// Rate-update interval tau*_i (Equation 23).
+  double update_interval(double rate_pps) const;
+  /// Feedback delay tau' for the given queue (Equation 24), without jitter.
+  double feedback_delay(double q_pkts) const;
+
+ protected:
+  /// Measured queue sample q_hat(t) as seen by a sender at time t: the queue
+  /// tau' (+ jitter) ago, plus jitter expressed in queue-equivalents.
+  double measured_queue(double t, double q_now, const History& past) const;
+
+  void gradient_rhs(double t, std::span<const double> x, const History& past,
+                    std::span<double> dxdt) const;
+
+  TimelyFluidParams params_;
+};
+
+/// Original TIMELY (Algorithm 1 / Equation 21, optionally Equation 28).
+class TimelyFluidModel final : public TimelyFluidBase {
+ public:
+  using TimelyFluidBase::TimelyFluidBase;
+  void rhs(double t, std::span<const double> x, const History& past,
+           std::span<double> dxdt) const override;
+};
+
+/// §4.3 parameterization: patched TIMELY keeps all TIMELY defaults except
+/// beta = 0.008 and Seg = 16KB; the reference queue q' is C*T_low.
+TimelyFluidParams patched_timely_defaults();
+
+/// Patched TIMELY (Algorithm 2 / Equations 29-30).
+class PatchedTimelyFluidModel final : public TimelyFluidBase {
+ public:
+  explicit PatchedTimelyFluidModel(TimelyFluidParams params)
+      : TimelyFluidBase(std::move(params)) {}
+
+  /// Reference queue q' of Equation 29 (packets).
+  double qref_pkts() const { return params_.qlow_pkts(); }
+
+  /// Weighting function w(g) of Equation 30 (piecewise-linear ramp).
+  static double weight(double gradient);
+
+  /// Unique fixed-point queue length per Theorem 5 / Equation 31 (packets).
+  double fixed_point_queue_pkts() const;
+
+  void rhs(double t, std::span<const double> x, const History& past,
+           std::span<double> dxdt) const override;
+};
+
+}  // namespace ecnd::fluid

@@ -1,0 +1,85 @@
+#include "proto/dcqcn/rp.hpp"
+
+#include <algorithm>
+
+namespace ecnd::proto {
+
+DcqcnRp::DcqcnRp(sim::Simulator& sim, const DcqcnRpParams& params)
+    : sim_(sim),
+      params_(params),
+      current_rate_(params.line_rate),
+      target_rate_(params.line_rate) {
+  schedule_alpha_timer();
+  schedule_increase_timer();
+}
+
+DcqcnRp::~DcqcnRp() { *alive_ = false; }
+
+void DcqcnRp::clamp_rates() {
+  current_rate_ = std::clamp(current_rate_, params_.min_rate, params_.line_rate);
+  target_rate_ = std::clamp(target_rate_, params_.min_rate, params_.line_rate);
+}
+
+void DcqcnRp::on_cnp(PicoTime now) {
+  // Equation 1: remember the current rate, cut it, and raise alpha.
+  target_rate_ = current_rate_;
+  current_rate_ *= 1.0 - alpha_ / 2.0;
+  alpha_ = (1.0 - params_.g) * alpha_ + params_.g;
+  clamp_rates();
+  last_cnp_ = now;
+
+  // A CNP resets the increase cycle: stages, byte counter, and both timers.
+  byte_stage_ = 0;
+  timer_stage_ = 0;
+  byte_accumulator_ = 0;
+  ++alpha_epoch_;
+  ++timer_epoch_;
+  schedule_alpha_timer();
+  schedule_increase_timer();
+}
+
+void DcqcnRp::on_bytes_sent(Bytes bytes, PicoTime now) {
+  (void)now;
+  byte_accumulator_ += bytes;
+  while (byte_accumulator_ >= params_.byte_counter) {
+    byte_accumulator_ -= params_.byte_counter;
+    ++byte_stage_;
+    increase_event();
+  }
+}
+
+void DcqcnRp::increase_event() {
+  // QCN-style staged increase: both counters below F -> fast recovery (halve
+  // toward the remembered target); one past F -> additive increase; both past
+  // F -> hyper increase.
+  const int f = params_.fast_recovery_steps;
+  if (byte_stage_ > f && timer_stage_ > f) {
+    target_rate_ += params_.rate_hai;
+  } else if (byte_stage_ > f || timer_stage_ > f) {
+    target_rate_ += params_.rate_ai;
+  }
+  current_rate_ = 0.5 * (current_rate_ + target_rate_);
+  clamp_rates();
+}
+
+void DcqcnRp::schedule_alpha_timer() {
+  const std::uint64_t epoch = alpha_epoch_;
+  sim_.schedule_in(params_.alpha_timer, [this, alive = alive_, epoch] {
+    if (!*alive || epoch != alpha_epoch_) return;
+    // Equation 2: no feedback for tau' => alpha decays.
+    alpha_ *= 1.0 - params_.g;
+    schedule_alpha_timer();
+  });
+}
+
+void DcqcnRp::schedule_increase_timer() {
+  const std::uint64_t epoch = timer_epoch_;
+  sim_.schedule_in(params_.increase_timer, [this, alive = alive_, epoch] {
+    if (!*alive || epoch != timer_epoch_) return;
+    ++timer_stage_;
+    increase_event();
+    schedule_increase_timer();
+  });
+}
+
+}  // namespace ecnd::proto

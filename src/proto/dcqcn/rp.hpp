@@ -1,0 +1,72 @@
+#pragma once
+// DCQCN reaction point (RP) — the sender-side rate state machine of [31] as
+// analyzed in the paper's §3: multiplicative decrease on CNPs (Equation 1),
+// alpha decay on silence (Equation 2), and QCN-style rate increase driven by
+// a byte counter and a timer through five stages of fast recovery, then
+// additive and finally hyper increase. Flows start at line rate; packets are
+// individually paced (hardware rate limiter).
+
+#include "core/units.hpp"
+#include "sim/rate_controller.hpp"
+#include "sim/simulator.hpp"
+
+#include <memory>
+
+namespace ecnd::proto {
+
+struct DcqcnRpParams {
+  BitsPerSecond line_rate = gbps(10.0);
+  BitsPerSecond min_rate = mbps(1.0);
+  double g = 1.0 / 256.0;
+  PicoTime alpha_timer = microseconds(55.0);     ///< tau'
+  PicoTime increase_timer = microseconds(55.0);  ///< T
+  Bytes byte_counter = megabytes(10.0);          ///< B
+  int fast_recovery_steps = 5;                   ///< F
+  BitsPerSecond rate_ai = mbps(40.0);            ///< R_AI
+  BitsPerSecond rate_hai = mbps(200.0);          ///< hyper-increase step
+  Bytes mtu = 1000;                              ///< pacing granularity
+};
+
+class DcqcnRp final : public sim::RateController {
+ public:
+  DcqcnRp(sim::Simulator& sim, const DcqcnRpParams& params);
+  ~DcqcnRp() override;
+
+  BitsPerSecond rate() const override { return current_rate_; }
+  Bytes chunk_bytes() const override { return params_.mtu; }
+  bool burst_pacing() const override { return false; }
+  bool wants_rtt() const override { return false; }
+
+  void on_bytes_sent(Bytes bytes, PicoTime now) override;
+  void on_cnp(PicoTime now) override;
+
+  double alpha() const { return alpha_; }
+  BitsPerSecond target_rate() const { return target_rate_; }
+  int byte_stage() const { return byte_stage_; }
+  int timer_stage() const { return timer_stage_; }
+
+ private:
+  void increase_event();
+  void schedule_alpha_timer();
+  void schedule_increase_timer();
+  void clamp_rates();
+
+  sim::Simulator& sim_;
+  DcqcnRpParams params_;
+  // Shared liveness flag: timer lambdas outlive `this` when a flow finishes,
+  // so they must check before touching state.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  BitsPerSecond current_rate_;
+  BitsPerSecond target_rate_;
+  double alpha_ = 1.0;
+  Bytes byte_accumulator_ = 0;
+  int byte_stage_ = 0;
+  int timer_stage_ = 0;
+  // Epochs invalidate in-flight timer events when a CNP resets the cycle.
+  std::uint64_t alpha_epoch_ = 0;
+  std::uint64_t timer_epoch_ = 0;
+  PicoTime last_cnp_ = -1;
+};
+
+}  // namespace ecnd::proto

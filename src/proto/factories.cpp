@@ -1,0 +1,35 @@
+#include "proto/factories.hpp"
+
+namespace ecnd::proto {
+
+sim::RateControllerFactory make_dcqcn_factory(sim::Simulator& sim,
+                                              DcqcnRpParams params) {
+  return [&sim, params](int active_flows) {
+    (void)active_flows;
+    return std::make_unique<DcqcnRp>(sim, params);
+  };
+}
+
+sim::RateControllerFactory make_timely_factory(
+    TimelyParams params, BitsPerSecond initial_rate_override) {
+  return [params, initial_rate_override](int active_flows) {
+    const BitsPerSecond initial =
+        initial_rate_override > 0.0
+            ? initial_rate_override
+            : params.line_rate / static_cast<double>(active_flows + 1);
+    return std::make_unique<TimelyController>(params, initial);
+  };
+}
+
+sim::RateControllerFactory make_patched_timely_factory(
+    PatchedTimelyParams params, BitsPerSecond initial_rate_override) {
+  return [params, initial_rate_override](int active_flows) {
+    const BitsPerSecond initial =
+        initial_rate_override > 0.0
+            ? initial_rate_override
+            : params.line_rate / static_cast<double>(active_flows + 1);
+    return std::make_unique<PatchedTimelyController>(params, initial);
+  };
+}
+
+}  // namespace ecnd::proto

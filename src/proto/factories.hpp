@@ -1,0 +1,23 @@
+#pragma once
+// Convenience RateControllerFactory builders for wiring protocols into hosts.
+
+#include "proto/dcqcn/rp.hpp"
+#include "proto/timely/timely.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecnd::proto {
+
+/// DCQCN flows start at line rate (no slow start — paper §3).
+sim::RateControllerFactory make_dcqcn_factory(sim::Simulator& sim,
+                                              DcqcnRpParams params);
+
+/// TIMELY flows start at C/(N+1) where N is the count of already-active
+/// flows at the sender (paper §4). `initial_rate_override` (> 0) pins the
+/// start rate instead — used by the Figure 9/12 unequal-start experiments.
+sim::RateControllerFactory make_timely_factory(
+    TimelyParams params, BitsPerSecond initial_rate_override = 0.0);
+
+sim::RateControllerFactory make_patched_timely_factory(
+    PatchedTimelyParams params, BitsPerSecond initial_rate_override = 0.0);
+
+}  // namespace ecnd::proto

@@ -1,0 +1,82 @@
+#include "proto/timely/timely.hpp"
+
+#include <algorithm>
+
+namespace ecnd::proto {
+
+TimelyController::TimelyController(const TimelyParams& params,
+                                   BitsPerSecond initial_rate)
+    : params_(params), rate_(initial_rate) {
+  clamp();
+}
+
+void TimelyController::clamp() {
+  rate_ = std::clamp(rate_, params_.min_rate, params_.line_rate);
+}
+
+double TimelyController::update_gradient(PicoTime rtt) {
+  // Algorithm 1 lines 1-4.
+  if (!have_prev_) {
+    have_prev_ = true;
+    prev_rtt_ = rtt;
+    return gradient_;
+  }
+  const double new_diff = static_cast<double>(rtt - prev_rtt_);
+  prev_rtt_ = rtt;
+  rtt_diff_ = (1.0 - params_.alpha_ewma) * rtt_diff_ + params_.alpha_ewma * new_diff;
+  gradient_ = rtt_diff_ / static_cast<double>(params_.d_min_rtt);
+  return gradient_;
+}
+
+void TimelyController::on_rtt_sample(PicoTime rtt, PicoTime now) {
+  (void)now;
+  update_gradient(rtt);
+
+  if (rtt < params_.t_low) {
+    // Line 6: additive increase (optionally hyperactive after a streak).
+    ++consecutive_low_;
+    if (params_.use_hai && consecutive_low_ >= params_.hai_threshold) {
+      rate_ += params_.hai_multiplier * params_.delta;
+    } else {
+      rate_ += params_.delta;
+    }
+    clamp();
+    return;
+  }
+  consecutive_low_ = 0;
+  if (rtt > params_.t_high) {
+    // Line 8: multiplicative decrease toward T_high.
+    const double ratio = static_cast<double>(params_.t_high) / static_cast<double>(rtt);
+    rate_ *= 1.0 - params_.beta_high * (1.0 - ratio);
+    clamp();
+    return;
+  }
+  gradient_zone_update(rtt);
+  clamp();
+}
+
+void TimelyController::gradient_zone_update(PicoTime rtt) {
+  (void)rtt;
+  // Algorithm 1 lines 9-12.
+  if (gradient_ <= 0.0) {
+    rate_ += params_.delta;
+  } else {
+    rate_ *= 1.0 - params_.beta * gradient_;
+  }
+}
+
+double PatchedTimelyController::weight(double gradient) {
+  // Equation 30.
+  if (gradient <= -0.25) return 0.0;
+  if (gradient >= 0.25) return 1.0;
+  return 2.0 * gradient + 0.5;
+}
+
+void PatchedTimelyController::gradient_zone_update(PicoTime rtt) {
+  // Algorithm 2 lines 10-12.
+  const double w = weight(gradient_);
+  const double error = static_cast<double>(rtt - rtt_ref_) / static_cast<double>(rtt_ref_);
+  rate_ = params_.delta * (1.0 - w) + rate_ * (1.0 - params_.beta * w * error);
+}
+
+}  // namespace ecnd::proto

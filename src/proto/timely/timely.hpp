@@ -1,0 +1,95 @@
+#pragma once
+// TIMELY rate computation (paper Algorithm 1) and Patched TIMELY
+// (Algorithm 2), driven by per-completion RTT samples. Completion events
+// arrive once per `segment` bytes (16-64KB chunks); pacing is either
+// per-packet (hardware rate limiter) or per-burst (chunks at line rate with
+// rate-shaping gaps — TIMELY's engineering choice, §4.2).
+
+#include "core/units.hpp"
+#include "sim/rate_controller.hpp"
+
+namespace ecnd::proto {
+
+struct TimelyParams {
+  BitsPerSecond line_rate = gbps(10.0);
+  BitsPerSecond min_rate = mbps(10.0);
+  double beta = 0.8;           ///< multiplicative decrease factor
+  /// Decrease factor of the RTT > T_high emergency branch; patched TIMELY
+  /// shrinks `beta` for the gradient-zone term but keeps this brake strong
+  /// (see TimelyFluidParams::beta_high).
+  double beta_high = 0.8;
+  double alpha_ewma = 0.875;   ///< EWMA smoothing of rttDiff
+  PicoTime t_low = microseconds(50.0);
+  PicoTime t_high = microseconds(500.0);
+  PicoTime d_min_rtt = microseconds(20.0);  ///< gradient normalization
+  BitsPerSecond delta = mbps(10.0);         ///< additive increase step
+  Bytes segment = kilobytes(16.0);          ///< completion chunk Seg
+  bool burst_pacing = false;   ///< chunks at line rate vs per-packet pacing
+  /// Optional hyperactive increase: after `hai_threshold` consecutive
+  /// completions below T_low, increase by hai_multiplier * delta. The paper's
+  /// models omit HAI (§4.1), so it defaults off.
+  bool use_hai = false;
+  int hai_threshold = 5;
+  double hai_multiplier = 5.0;
+};
+
+/// §4.3 parameterization of Patched TIMELY: beta = 0.008, Seg = 16KB.
+/// RTT_ref (Algorithm 2 line 11) defaults to T_low.
+struct PatchedTimelyParams : TimelyParams {
+  PatchedTimelyParams() {
+    beta = 0.008;      // gradient-zone decrease (§4.3)
+    beta_high = 0.8;   // keep the T_high emergency brake at full strength
+    segment = kilobytes(16.0);
+  }
+  PicoTime rtt_ref = microseconds(50.0);
+};
+
+/// Original TIMELY (Algorithm 1).
+class TimelyController : public sim::RateController {
+ public:
+  TimelyController(const TimelyParams& params, BitsPerSecond initial_rate);
+
+  BitsPerSecond rate() const override { return rate_; }
+  Bytes chunk_bytes() const override { return params_.segment; }
+  bool burst_pacing() const override { return params_.burst_pacing; }
+  bool wants_rtt() const override { return true; }
+
+  void on_rtt_sample(PicoTime rtt, PicoTime now) override;
+
+  double rtt_gradient() const { return gradient_; }
+
+ protected:
+  /// Gradient-zone update (T_low <= RTT <= T_high); overridden by the patch.
+  virtual void gradient_zone_update(PicoTime rtt);
+
+  void clamp();
+  /// Updates the EWMA gradient state; returns the new normalized gradient.
+  double update_gradient(PicoTime rtt);
+
+  TimelyParams params_;
+  double rate_;           // bits/s
+  double rtt_diff_ = 0.0; // EWMA'd RTT difference (ps)
+  double gradient_ = 0.0; // normalized rttDiff / D_minRTT
+  PicoTime prev_rtt_ = 0;
+  bool have_prev_ = false;
+  int consecutive_low_ = 0;  // HAI bookkeeping
+};
+
+/// Patched TIMELY (Algorithm 2): the gradient only *weights* a blend between
+/// additive increase and an absolute-RTT-error multiplicative decrease.
+class PatchedTimelyController final : public TimelyController {
+ public:
+  PatchedTimelyController(const PatchedTimelyParams& params,
+                          BitsPerSecond initial_rate)
+      : TimelyController(params, initial_rate), rtt_ref_(params.rtt_ref) {}
+
+  /// Weighting function w(g) (Equation 30).
+  static double weight(double gradient);
+
+ private:
+  void gradient_zone_update(PicoTime rtt) override;
+
+  PicoTime rtt_ref_;
+};
+
+}  // namespace ecnd::proto

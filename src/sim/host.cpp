@@ -1,0 +1,173 @@
+#include "sim/host.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecnd::sim {
+
+Host::Host(Simulator& sim, Rng& rng, std::string name, int id, HostConfig config)
+    : Node(std::move(name), id), sim_(sim), rng_(rng), config_(config) {}
+
+void Host::attach_link(BitsPerSecond rate, PicoTime propagation) {
+  assert(!nic_);
+  nic_ = std::make_unique<Port>(sim_, rng_, Node::name() + ":nic", rate,
+                                propagation);
+  nic_->set_wire_timestamping(true);
+}
+
+std::uint64_t Host::start_flow(int dst_host, Bytes size) {
+  assert(nic_ && nic_->connected());
+  assert(factory_ && "set_controller_factory before starting flows");
+  assert(size > 0);
+  const std::uint64_t flow_id =
+      (static_cast<std::uint64_t>(id()) << 32) | next_flow_seq_++;
+  SenderFlow flow;
+  flow.dst_host = dst_host;
+  flow.size = size;
+  flow.controller = factory_(active_send_flows());
+  send_flows_.emplace(flow_id, std::move(flow));
+  pump(flow_id);
+  return flow_id;
+}
+
+Packet Host::make_data_packet(std::uint64_t flow_id, SenderFlow& flow,
+                              Bytes bytes) {
+  Packet pkt;
+  pkt.type = PacketType::kData;
+  pkt.src_host = id();
+  pkt.dst_host = flow.dst_host;
+  pkt.flow_id = flow_id;
+  pkt.size = bytes;
+  pkt.seq = flow.next_seq++;
+  pkt.sent_at = sim_.now();
+  flow.sent += bytes;
+  flow.chunk_progress += bytes;
+  const bool last = flow.sent >= flow.size;
+  if (flow.chunk_progress >= flow.controller->chunk_bytes() || last) {
+    pkt.chunk_end = true;
+    pkt.wants_ack = flow.controller->wants_rtt();
+    flow.chunk_progress = 0;
+  }
+  pkt.flow_end = last;
+  return pkt;
+}
+
+void Host::pump(std::uint64_t flow_id) {
+  const auto it = send_flows_.find(flow_id);
+  if (it == send_flows_.end()) return;
+  SenderFlow& flow = it->second;
+  RateController& ctl = *flow.controller;
+
+  const Bytes remaining = flow.size - flow.sent;
+  assert(remaining > 0);
+  const Bytes installment =
+      ctl.burst_pacing() ? std::min(ctl.chunk_bytes(), remaining)
+                         : std::min<Bytes>(config_.mtu, remaining);
+
+  // Emit the installment as MTU-sized packets back-to-back into the NIC
+  // queue (it serializes at line rate; per-burst pacing is exactly this).
+  Bytes emitted = 0;
+  while (emitted < installment) {
+    const Bytes bytes = std::min<Bytes>(config_.mtu, installment - emitted);
+    nic_->enqueue(make_data_packet(flow_id, flow, bytes));
+    emitted += bytes;
+  }
+  ctl.on_bytes_sent(emitted, sim_.now());
+
+  if (flow.sent >= flow.size) {
+    // All bytes handed to the NIC; the controller is no longer needed.
+    // (Straggler CNPs/ACKs for this flow are dropped in receive().)
+    send_flows_.erase(it);
+    return;
+  }
+
+  // Pace: the *average* rate equals ctl.rate() whether we emitted one MTU or
+  // a whole chunk. The rate is re-read at each installment, so feedback that
+  // arrives mid-gap takes effect on the very next transmission.
+  const double rate = std::max(ctl.rate(), mbps(0.1));
+  const PicoTime gap = serialization_time(emitted, rate);
+  sim_.schedule_in(gap, [this, flow_id] { pump(flow_id); });
+}
+
+void Host::handle_data(const Packet& pkt) {
+  data_bytes_received_ += static_cast<std::uint64_t>(pkt.size);
+  ReceiverFlow& flow = recv_flows_[pkt.flow_id];
+  if (flow.received == 0) flow.first_sent_at = pkt.sent_at;
+  flow.received += pkt.size;
+
+  // DCQCN NP: coalesced CNP generation on marked arrivals (paper §3).
+  if (pkt.ecn_marked &&
+      (!flow.cnp_ever_sent || sim_.now() - flow.last_cnp >= config_.cnp_interval)) {
+    flow.cnp_ever_sent = true;
+    flow.last_cnp = sim_.now();
+    Packet cnp;
+    cnp.type = PacketType::kCnp;
+    cnp.src_host = id();
+    cnp.dst_host = pkt.src_host;
+    cnp.flow_id = pkt.flow_id;
+    cnp.size = kControlPacketBytes;
+    nic_->enqueue(cnp);
+    ++cnps_sent_;
+  }
+
+  // Completion-event ACK carrying the RTT echo (TIMELY).
+  if (pkt.wants_ack) {
+    Packet ack;
+    ack.type = PacketType::kAck;
+    ack.src_host = id();
+    ack.dst_host = pkt.src_host;
+    ack.flow_id = pkt.flow_id;
+    ack.size = kControlPacketBytes;
+    ack.sent_at = pkt.sent_at;  // echo of the data tx timestamp
+    nic_->enqueue(ack);
+    ++acks_sent_;
+  }
+
+  if (pkt.flow_end) {
+    if (on_flow_complete) {
+      FlowRecord record;
+      record.id = pkt.flow_id;
+      record.src_host = pkt.src_host;
+      record.dst_host = id();
+      record.size = flow.received;
+      record.start = flow.first_sent_at;
+      record.end = sim_.now();
+      on_flow_complete(record);
+    }
+    recv_flows_.erase(pkt.flow_id);
+  }
+}
+
+void Host::receive(Packet pkt, int ingress_port) {
+  (void)ingress_port;
+  switch (pkt.type) {
+    case PacketType::kPause:
+      nic_->pfc_pause();
+      break;
+    case PacketType::kResume:
+      nic_->pfc_resume();
+      break;
+    case PacketType::kData:
+      handle_data(pkt);
+      break;
+    case PacketType::kCnp: {
+      const auto it = send_flows_.find(pkt.flow_id);
+      if (it != send_flows_.end()) it->second.controller->on_cnp(sim_.now());
+      break;
+    }
+    case PacketType::kAck: {
+      const auto it = send_flows_.find(pkt.flow_id);
+      if (it != send_flows_.end()) {
+        it->second.controller->on_rtt_sample(sim_.now() - pkt.sent_at, sim_.now());
+      }
+      break;
+    }
+  }
+}
+
+BitsPerSecond Host::flow_rate(std::uint64_t flow_id) const {
+  const auto it = send_flows_.find(flow_id);
+  return it == send_flows_.end() ? 0.0 : it->second.controller->rate();
+}
+
+}  // namespace ecnd::sim

@@ -1,0 +1,100 @@
+#pragma once
+// A simulated end host: NIC egress port, per-flow paced senders driven by a
+// RateController, and the receiver-side feedback machinery (DCQCN NP CNP
+// generation; per-chunk ACKs carrying RTT echoes for TIMELY).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/node.hpp"
+#include "sim/port.hpp"
+#include "sim/rate_controller.hpp"
+
+namespace ecnd::sim {
+
+struct HostConfig {
+  Bytes mtu = 1000;
+  /// NP behavior (paper §3): a CNP is generated for a flow when a marked
+  /// packet arrives and none was sent in the last cnp_interval.
+  PicoTime cnp_interval = microseconds(50.0);
+};
+
+/// Completion record delivered at the *receiving* host when the last data
+/// packet of a flow lands.
+struct FlowRecord {
+  std::uint64_t id = 0;
+  int src_host = -1;
+  int dst_host = -1;
+  Bytes size = 0;
+  PicoTime start = 0;  ///< tx timestamp of the flow's first packet
+  PicoTime end = 0;    ///< arrival time of the flow's last packet
+  PicoTime fct() const { return end - start; }
+};
+
+class Host final : public Node {
+ public:
+  Host(Simulator& sim, Rng& rng, std::string name, int id, HostConfig config);
+
+  /// Create this host's NIC port (call once, then connect()).
+  void attach_link(BitsPerSecond rate, PicoTime propagation);
+  void connect(Node* peer, int peer_ingress_port) {
+    nic_->connect(peer, peer_ingress_port);
+  }
+  Port& nic() { return *nic_; }
+
+  void set_controller_factory(RateControllerFactory factory) {
+    factory_ = std::move(factory);
+  }
+
+  /// Begin sending `size` bytes to `dst_host` now; returns the flow id.
+  std::uint64_t start_flow(int dst_host, Bytes size);
+
+  /// Invoked (on the receiving host) when a flow's last packet arrives.
+  std::function<void(const FlowRecord&)> on_flow_complete;
+
+  void receive(Packet pkt, int ingress_port) override;
+
+  /// Current controller rate of an active sending flow (0 if finished).
+  BitsPerSecond flow_rate(std::uint64_t flow_id) const;
+  int active_send_flows() const { return static_cast<int>(send_flows_.size()); }
+  std::uint64_t cnps_sent() const { return cnps_sent_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t data_bytes_received() const { return data_bytes_received_; }
+
+ private:
+  struct SenderFlow {
+    int dst_host = -1;
+    Bytes size = 0;
+    Bytes sent = 0;
+    Bytes chunk_progress = 0;
+    std::uint32_t next_seq = 0;
+    std::unique_ptr<RateController> controller;
+  };
+  struct ReceiverFlow {
+    Bytes received = 0;
+    PicoTime first_sent_at = 0;
+    PicoTime last_cnp = 0;
+    bool cnp_ever_sent = false;
+  };
+
+  void pump(std::uint64_t flow_id);
+  Packet make_data_packet(std::uint64_t flow_id, SenderFlow& flow, Bytes bytes);
+  void handle_data(const Packet& pkt);
+
+  Simulator& sim_;
+  Rng& rng_;
+  HostConfig config_;
+  std::unique_ptr<Port> nic_;
+  RateControllerFactory factory_;
+  std::uint64_t next_flow_seq_ = 1;
+  std::unordered_map<std::uint64_t, SenderFlow> send_flows_;
+  std::unordered_map<std::uint64_t, ReceiverFlow> recv_flows_;
+  std::uint64_t cnps_sent_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t data_bytes_received_ = 0;
+};
+
+}  // namespace ecnd::sim

@@ -1,0 +1,170 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+namespace ecnd::sim {
+
+Host& Network::add_host(const HostConfig& config) {
+  const int id = static_cast<int>(hosts_.size());
+  hosts_.push_back(std::make_unique<Host>(sim_, rng_, "h" + std::to_string(id),
+                                          id, config));
+  return *hosts_.back();
+}
+
+Switch& Network::add_switch() {
+  // Switch ids live in a separate namespace from host ids; routing keys are
+  // host ids only.
+  const int id = 1000 + static_cast<int>(switches_.size());
+  switches_.push_back(std::make_unique<Switch>(
+      sim_, rng_, "sw" + std::to_string(id - 1000), id));
+  return *switches_.back();
+}
+
+void Network::link(Host& host, Switch& sw, BitsPerSecond rate,
+                   PicoTime propagation) {
+  const int sw_port = sw.add_port(rate, propagation);
+  host.attach_link(rate, propagation);
+  host.connect(&sw, sw_port);
+  sw.port(sw_port).connect(&host, /*peer_ingress=*/0);
+  edges_.push_back({sw_port, &sw, &host});
+}
+
+void Network::link(Switch& a, Switch& b, BitsPerSecond rate,
+                   PicoTime propagation) {
+  const int pa = a.add_port(rate, propagation);
+  const int pb = b.add_port(rate, propagation);
+  a.port(pa).connect(&b, pb);
+  b.port(pb).connect(&a, pa);
+  edges_.push_back({pa, &a, &b});
+  edges_.push_back({pb, &b, &a});
+}
+
+void Network::build_routes() {
+  // For each host, BFS outward from its attached switch; every switch learns
+  // the egress port on its shortest path toward the host.
+  for (const auto& host : hosts_) {
+    std::deque<Switch*> frontier;
+    std::unordered_map<Switch*, bool> solved;
+    // Seed: switches directly attached to the host.
+    for (const SwitchEdge& e : edges_) {
+      if (e.to == host.get()) {
+        e.from->set_route(host->id(), e.port);
+        solved[e.from] = true;
+        frontier.push_back(e.from);
+      }
+    }
+    while (!frontier.empty()) {
+      Switch* current = frontier.front();
+      frontier.pop_front();
+      for (const SwitchEdge& e : edges_) {
+        auto* neighbor = dynamic_cast<Switch*>(e.to);
+        if (neighbor != current) continue;
+        if (solved[e.from]) continue;
+        e.from->set_route(host->id(), e.port);
+        solved[e.from] = true;
+        frontier.push_back(e.from);
+      }
+    }
+  }
+}
+
+void Network::monitor_queue(const Port& port, PicoTime interval, PicoTime until,
+                            TimeSeries& series) {
+  series.push(to_seconds(sim_.now()), static_cast<double>(port.queued_bytes()));
+  if (sim_.now() + interval > until) return;
+  sim_.schedule_in(interval, [this, &port, interval, until, &series] {
+    monitor_queue(port, interval, until, series);
+  });
+}
+
+std::uint64_t Network::total_drops() const {
+  std::uint64_t drops = 0;
+  for (const auto& sw : switches_) {
+    for (int p = 0; p < sw->num_ports(); ++p) drops += sw->port(p).drops();
+  }
+  for (const auto& host : hosts_) {
+    drops += const_cast<Host&>(*host).nic().drops();
+  }
+  return drops;
+}
+
+Dumbbell make_dumbbell(Network& net, const DumbbellConfig& config) {
+  Dumbbell d;
+  d.net = &net;
+  Switch& sw1 = net.add_switch();
+  Switch& sw2 = net.add_switch();
+  d.sw1 = &sw1;
+  d.sw2 = &sw2;
+  for (int i = 0; i < config.pairs; ++i) {
+    Host& sender = net.add_host(config.host);
+    net.link(sender, sw1, config.link_rate, config.link_delay);
+    d.senders.push_back(&sender);
+  }
+  for (int i = 0; i < config.pairs; ++i) {
+    Host& receiver = net.add_host(config.host);
+    net.link(receiver, sw2, config.link_rate, config.link_delay);
+    d.receivers.push_back(&receiver);
+  }
+  net.link(sw1, sw2, config.link_rate, config.link_delay);
+  d.trunk_port = sw1.num_ports() - 1;
+  net.build_routes();
+  sw1.set_red_all(config.red);
+  sw2.set_red_all(config.red);
+  sw1.set_pfc(config.pfc);
+  sw2.set_pfc(config.pfc);
+  return d;
+}
+
+ParkingLot make_parking_lot(Network& net, const ParkingLotConfig& config) {
+  ParkingLot lot;
+  lot.net = &net;
+  for (int i = 0; i < 3; ++i) lot.switches.push_back(&net.add_switch());
+
+  auto attach = [&](Switch& sw) -> Host* {
+    Host& host = net.add_host(config.host);
+    net.link(host, sw, config.link_rate, config.link_delay);
+    return &host;
+  };
+  lot.long_sender = attach(*lot.switches[0]);
+  lot.left_sender = attach(*lot.switches[0]);
+  lot.right_sender = attach(*lot.switches[1]);
+  lot.left_receiver = attach(*lot.switches[1]);
+  lot.long_receiver = attach(*lot.switches[2]);
+  lot.right_receiver = attach(*lot.switches[2]);
+
+  net.link(*lot.switches[0], *lot.switches[1], config.link_rate, config.link_delay);
+  lot.trunk01 = lot.switches[0]->num_ports() - 1;
+  net.link(*lot.switches[1], *lot.switches[2], config.link_rate, config.link_delay);
+  lot.trunk12 = lot.switches[1]->num_ports() - 1;
+
+  net.build_routes();
+  for (Switch* sw : lot.switches) {
+    sw->set_red_all(config.red);
+    sw->set_pfc(config.pfc);
+  }
+  return lot;
+}
+
+Star make_star(Network& net, const StarConfig& config) {
+  Star s;
+  s.net = &net;
+  Switch& sw = net.add_switch();
+  s.sw = &sw;
+  for (int i = 0; i < config.senders; ++i) {
+    Host& sender = net.add_host(config.host);
+    net.link(sender, sw, config.link_rate, config.sender_link_delay);
+    s.senders.push_back(&sender);
+  }
+  Host& receiver = net.add_host(config.host);
+  net.link(receiver, sw, config.link_rate, config.receiver_link_delay);
+  s.receiver = &receiver;
+  s.receiver_port = sw.num_ports() - 1;
+  net.build_routes();
+  sw.set_red_all(config.red);
+  sw.set_pfc(config.pfc);
+  return s;
+}
+
+}  // namespace ecnd::sim

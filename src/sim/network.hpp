@@ -1,0 +1,142 @@
+#pragma once
+// Network container: owns the simulator, RNG, and all nodes; wires up
+// full-duplex links; computes static routes; and provides the dumbbell
+// topology of the paper's Figure 13 plus periodic queue monitoring.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/timeseries.hpp"
+#include "sim/host.hpp"
+#include "sim/switch.hpp"
+
+namespace ecnd::sim {
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator& sim() { return sim_; }
+  Rng& rng() { return rng_; }
+
+  Host& add_host(const HostConfig& config = {});
+  Switch& add_switch();
+
+  /// Full-duplex host<->switch attachment.
+  void link(Host& host, Switch& sw, BitsPerSecond rate, PicoTime propagation);
+  /// Full-duplex switch<->switch trunk.
+  void link(Switch& a, Switch& b, BitsPerSecond rate, PicoTime propagation);
+
+  /// Populate every switch's routing table (BFS; call after all link()s).
+  void build_routes();
+
+  const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
+  const std::vector<std::unique_ptr<Switch>>& switches() const { return switches_; }
+
+  /// Sample `port`'s total queued bytes every `interval` until `until`,
+  /// recording into `series` (time in seconds).
+  void monitor_queue(const Port& port, PicoTime interval, PicoTime until,
+                     TimeSeries& series);
+
+  /// Total packets dropped across every port in the network.
+  std::uint64_t total_drops() const;
+
+ private:
+  struct SwitchEdge {
+    int port;        // port index on `from`
+    Switch* from;
+    Node* to;        // Host or Switch
+  };
+
+  Simulator sim_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<SwitchEdge> edges_;
+};
+
+/// The classic dumbbell of Figure 13: `pairs` senders on SW1, `pairs`
+/// receivers on SW2, one bottleneck trunk SW1->SW2. Senders are hosts
+/// [0, pairs), receivers [pairs, 2*pairs).
+struct Dumbbell {
+  Network* net = nullptr;
+  Switch* sw1 = nullptr;
+  Switch* sw2 = nullptr;
+  int trunk_port = -1;  ///< SW1's egress port onto the bottleneck
+  std::vector<Host*> senders;
+  std::vector<Host*> receivers;
+
+  Port& bottleneck() { return sw1->port(trunk_port); }
+};
+
+struct DumbbellConfig {
+  int pairs = 10;
+  BitsPerSecond link_rate = gbps(10.0);
+  PicoTime link_delay = microseconds(1.0);
+  HostConfig host;
+  RedConfig red;   ///< applied to every switch port
+  PfcConfig pfc;   ///< applied to both switches
+};
+
+Dumbbell make_dumbbell(Network& net, const DumbbellConfig& config);
+
+/// The validation topology of Figures 2 and 8: N senders and one receiver on
+/// a single switch; the bottleneck is the switch's port to the receiver.
+struct Star {
+  Network* net = nullptr;
+  Switch* sw = nullptr;
+  int receiver_port = -1;  ///< switch egress port toward the receiver
+  std::vector<Host*> senders;
+  Host* receiver = nullptr;
+
+  Port& bottleneck() { return sw->port(receiver_port); }
+};
+
+struct StarConfig {
+  int senders = 2;
+  BitsPerSecond link_rate = gbps(10.0);
+  PicoTime sender_link_delay = microseconds(1.0);
+  /// Delay of the receiver link: the dominant share of the feedback loop
+  /// when studying large control delays (Figures 5 and 17).
+  PicoTime receiver_link_delay = microseconds(1.0);
+  HostConfig host;
+  RedConfig red;
+  PfcConfig pfc;
+};
+
+Star make_star(Network& net, const StarConfig& config);
+
+/// Multi-bottleneck "parking lot" (the paper's §7 future-work scenario):
+/// a chain SW0 - SW1 - SW2 with two trunk bottlenecks. Three flow classes:
+///   long:  sender on SW0 -> receiver on SW2 (crosses both trunks)
+///   left:  sender on SW0 -> receiver on SW1 (first trunk only)
+///   right: sender on SW1 -> receiver on SW2 (second trunk only)
+struct ParkingLot {
+  Network* net = nullptr;
+  std::vector<Switch*> switches;  // SW0, SW1, SW2
+  int trunk01 = -1;  ///< SW0's egress port toward SW1
+  int trunk12 = -1;  ///< SW1's egress port toward SW2
+  Host* long_sender = nullptr;
+  Host* left_sender = nullptr;
+  Host* right_sender = nullptr;
+  Host* long_receiver = nullptr;
+  Host* left_receiver = nullptr;
+  Host* right_receiver = nullptr;
+
+  Port& first_bottleneck() { return switches[0]->port(trunk01); }
+  Port& second_bottleneck() { return switches[1]->port(trunk12); }
+};
+
+struct ParkingLotConfig {
+  BitsPerSecond link_rate = gbps(10.0);
+  PicoTime link_delay = microseconds(1.0);
+  HostConfig host;
+  RedConfig red;
+  PfcConfig pfc;
+};
+
+ParkingLot make_parking_lot(Network& net, const ParkingLotConfig& config);
+
+}  // namespace ecnd::sim

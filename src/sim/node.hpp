@@ -1,0 +1,30 @@
+#pragma once
+// Base interface for simulated network devices (hosts and switches).
+
+#include <string>
+
+#include "sim/packet.hpp"
+
+namespace ecnd::sim {
+
+class Node {
+ public:
+  Node(std::string name, int id) : name_(std::move(name)), id_(id) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  int id() const { return id_; }
+
+  /// Deliver a packet that finished propagating over the link attached to
+  /// this node's `ingress_port`.
+  virtual void receive(Packet pkt, int ingress_port) = 0;
+
+ private:
+  std::string name_;
+  int id_;
+};
+
+}  // namespace ecnd::sim

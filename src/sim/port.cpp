@@ -1,0 +1,134 @@
+#include "sim/port.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/node.hpp"
+
+namespace ecnd::sim {
+
+Port::Port(Simulator& sim, Rng& rng, std::string name, BitsPerSecond rate,
+           PicoTime propagation)
+    : sim_(sim),
+      rng_(rng),
+      name_(std::move(name)),
+      rate_(rate),
+      propagation_(propagation) {
+  assert(rate_ > 0.0);
+}
+
+void Port::connect(Node* peer, int peer_ingress_port) {
+  peer_ = peer;
+  peer_ingress_ = peer_ingress_port;
+}
+
+double Port::marking_probability(Bytes queue) const {
+  if (queue <= red_.kmin) return 0.0;
+  if (!red_.linear_extension && queue > red_.kmax) return 1.0;
+  const double frac = static_cast<double>(queue - red_.kmin) /
+                      static_cast<double>(red_.kmax - red_.kmin);
+  return std::min(1.0, frac * red_.pmax);
+}
+
+void Port::set_pi_aqm(const PiAqmConfig& pi) {
+  const bool was_enabled = pi_.enabled;
+  pi_ = pi;
+  if (pi_.enabled && !was_enabled) {
+    sim_.schedule_in(pi_.update_interval, [this] { pi_update(); });
+  }
+}
+
+void Port::pi_update() {
+  if (!pi_.enabled) return;
+  const double q_pkts =
+      static_cast<double>(queued_bytes(kDataPriority)) / pi_.mtu_bytes;
+  const double qref_pkts = static_cast<double>(pi_.qref) / pi_.mtu_bytes;
+  const double dt = to_seconds(pi_.update_interval);
+  pi_p_ += pi_.gain_integral * dt * (q_pkts - qref_pkts) +
+           pi_.gain_proportional * (q_pkts - pi_prev_queue_pkts_);
+  pi_p_ = std::clamp(pi_p_, 0.0, 1.0);
+  pi_prev_queue_pkts_ = q_pkts;
+  sim_.schedule_in(pi_.update_interval, [this] { pi_update(); });
+}
+
+void Port::enqueue(Packet pkt) {
+  assert(peer_ != nullptr);
+  if (buffer_limit_ > 0 && queued_bytes() + pkt.size > buffer_limit_) {
+    ++drops_;
+    return;
+  }
+  if (red_.enabled && red_.position == MarkPosition::kEnqueue &&
+      pkt.type == PacketType::kData) {
+    // "Marking on ingress" (Figure 17): decide from the backlog the packet
+    // sees on arrival; the mark then ages in the queue before departing.
+    if (rng_.bernoulli(marking_probability(queued_bytes(kDataPriority)))) {
+      pkt.ecn_marked = true;
+    }
+  }
+  const int prio = pkt.priority();
+  queued_bytes_[prio] += pkt.size;
+  queues_[prio].push_back(pkt);
+  try_transmit();
+}
+
+void Port::pfc_pause() {
+  paused_ = true;
+}
+
+void Port::pfc_resume() {
+  if (!paused_) return;
+  paused_ = false;
+  try_transmit();
+}
+
+void Port::try_transmit() {
+  if (busy_) return;
+  // Strict priority: control first; data only when not PFC-paused.
+  int prio = -1;
+  if (!queues_[kControlPriority].empty()) {
+    prio = kControlPriority;
+  } else if (!paused_ && !queues_[kDataPriority].empty()) {
+    prio = kDataPriority;
+  } else {
+    return;
+  }
+
+  Packet pkt = queues_[prio].front();
+  queues_[prio].pop_front();
+  queued_bytes_[prio] -= pkt.size;
+
+  if (wire_timestamping_ && pkt.type == PacketType::kData) {
+    pkt.sent_at = sim_.now();
+  }
+
+  if (pkt.type == PacketType::kData) {
+    if (pi_.enabled) {
+      // PI-controller marking (egress): probability is the controller state.
+      if (rng_.bernoulli(pi_p_)) pkt.ecn_marked = true;
+    } else if (red_.enabled && red_.position == MarkPosition::kDequeue) {
+      // Egress marking: the decision reflects the backlog at departure (the
+      // remaining queue), so the signal is as fresh as the wire allows.
+      if (rng_.bernoulli(marking_probability(queued_bytes(kDataPriority)))) {
+        pkt.ecn_marked = true;
+      }
+    }
+  }
+  if (pkt.type == PacketType::kData && on_dequeue) on_dequeue(pkt);
+
+  ++tx_packets_;
+  tx_bytes_ += static_cast<std::uint64_t>(pkt.size);
+  if (pkt.ecn_marked) ++marked_packets_;
+
+  const PicoTime serialization = serialization_time(pkt.size, rate_);
+  busy_ = true;
+  // Transmitter frees up after serialization; the packet lands at the peer
+  // after serialization + propagation.
+  sim_.schedule_in(serialization, [this] {
+    busy_ = false;
+    try_transmit();
+  });
+  sim_.schedule_in(serialization + propagation_,
+                   [this, pkt]() mutable { peer_->receive(pkt, peer_ingress_); });
+}
+
+}  // namespace ecnd::sim

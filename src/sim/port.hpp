@@ -1,0 +1,136 @@
+#pragma once
+// An egress port: per-priority FIFO queues, a transmitter that serializes
+// packets onto a point-to-point link, RED/ECN marking (paper Equation 3) at
+// a configurable position, and PFC pause state.
+//
+// The marking position is the paper's §5.2 "ECN marking is done on packet
+// egress" argument made concrete:
+//   * kDequeue (default, what Broadcom-style shared-buffer switches do): the
+//     departing packet is marked according to the queue length *at departure*
+//     — the congestion signal's age is independent of the queueing delay.
+//   * kEnqueue ("marking on ingress", Figure 17): the packet is marked
+//     according to the queue at *arrival* and then waits through the queue,
+//     so the signal ages by the queueing delay before it even leaves.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecnd::sim {
+
+class Node;
+
+enum class MarkPosition : std::uint8_t { kDequeue, kEnqueue };
+
+/// RED/ECN profile (Equation 3).
+struct RedConfig {
+  bool enabled = false;
+  Bytes kmin = kilobytes(40.0);
+  Bytes kmax = kilobytes(200.0);
+  double pmax = 0.01;
+  MarkPosition position = MarkPosition::kDequeue;
+  /// See DcqcnFluidParams::red_linear_extension; false = Equation 3 verbatim.
+  bool linear_extension = false;
+};
+
+/// PIE-style PI controller marking (paper §5.2 / Equation 32 and §7 future
+/// work): instead of RED's static profile, the marking probability is a
+/// periodically-updated controller state
+///     p += gain_integral * dt * (q - qref) + gain_proportional * (q - q_prev)
+/// (queue in packets), which drives the queue error to zero — a fixed queue
+/// for any number of flows. Marking happens at dequeue with probability p.
+/// Overrides RED when enabled.
+struct PiAqmConfig {
+  bool enabled = false;
+  Bytes qref = kilobytes(50.0);
+  double gain_integral = 0.004;     ///< per packet of error, per second
+  double gain_proportional = 4e-5;  ///< per packet of queue change
+  PicoTime update_interval = microseconds(20.0);
+  double mtu_bytes = 1000.0;        ///< packet-unit conversion for the gains
+};
+
+class Port {
+ public:
+  /// `rate` and `propagation` describe the attached link direction this port
+  /// transmits onto.
+  Port(Simulator& sim, Rng& rng, std::string name, BitsPerSecond rate,
+       PicoTime propagation);
+
+  void connect(Node* peer, int peer_ingress_port);
+  void set_red(const RedConfig& red) { red_ = red; }
+  /// Enable PI-controller marking (starts the periodic controller updates).
+  void set_pi_aqm(const PiAqmConfig& pi);
+  /// Current PI marking probability (0 when PI is disabled).
+  double pi_marking_probability() const { return pi_p_; }
+  /// Host NICs re-stamp each data packet's tx timestamp when it actually
+  /// reaches the wire, so RTT samples exclude the sender's own queueing
+  /// (TIMELY measures from NIC hardware timestamps and discounts segment
+  /// serialization; without this, 64KB bursts would self-inflate every RTT
+  /// sample by their own serialization time).
+  void set_wire_timestamping(bool on) { wire_timestamping_ = on; }
+  /// Maximum bytes queued across priorities before tail drop (0 = unbounded).
+  void set_buffer_limit(Bytes limit) { buffer_limit_ = limit; }
+
+  const std::string& name() const { return name_; }
+  BitsPerSecond rate() const { return rate_; }
+  PicoTime propagation() const { return propagation_; }
+  bool connected() const { return peer_ != nullptr; }
+
+  /// Queue a packet for transmission. May tail-drop if over the limit.
+  void enqueue(Packet pkt);
+
+  /// PFC: pause / resume the data priority (control is never paused).
+  void pfc_pause();
+  void pfc_resume();
+  bool paused() const { return paused_; }
+
+  Bytes queued_bytes() const { return queued_bytes_[0] + queued_bytes_[1]; }
+  Bytes queued_bytes(int priority) const { return queued_bytes_[priority]; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t marked_packets() const { return marked_packets_; }
+
+  /// Invoked when a data packet leaves the queue (PFC shared-buffer
+  /// accounting hook for the owning switch).
+  std::function<void(const Packet&)> on_dequeue;
+
+ private:
+  void try_transmit();
+  /// RED marking probability for the given backlog (Equation 3).
+  double marking_probability(Bytes queue) const;
+
+  Simulator& sim_;
+  Rng& rng_;
+  std::string name_;
+  BitsPerSecond rate_;
+  PicoTime propagation_;
+  Node* peer_ = nullptr;
+  int peer_ingress_ = -1;
+
+  void pi_update();
+
+  RedConfig red_;
+  PiAqmConfig pi_;
+  double pi_p_ = 0.0;
+  double pi_prev_queue_pkts_ = 0.0;
+  bool wire_timestamping_ = false;
+  Bytes buffer_limit_ = 0;
+  std::deque<Packet> queues_[kNumPriorities];
+  Bytes queued_bytes_[kNumPriorities] = {0, 0};
+  bool busy_ = false;
+  bool paused_ = false;
+
+  std::uint64_t drops_ = 0;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t marked_packets_ = 0;
+};
+
+}  // namespace ecnd::sim

@@ -1,0 +1,48 @@
+#pragma once
+// Interface between a host's per-flow sending machinery and a congestion
+// control algorithm (DCQCN RP, TIMELY, patched TIMELY).
+
+#include <functional>
+#include <memory>
+
+#include "core/units.hpp"
+
+namespace ecnd::sim {
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+
+  /// Current sending rate the host paces this flow at.
+  virtual BitsPerSecond rate() const = 0;
+
+  /// Completion-chunk granularity: RTT feedback (if any) is produced once
+  /// per this many bytes, and per-burst pacing sends this much back-to-back.
+  virtual Bytes chunk_bytes() const = 0;
+
+  /// True: the chunk is emitted back-to-back at line rate and the *gaps*
+  /// between chunks realize rate() (TIMELY's engineering choice, §4.2).
+  /// False: every packet is individually paced (hardware rate limiter).
+  virtual bool burst_pacing() const = 0;
+
+  /// Should the receiver acknowledge chunk boundaries (RTT measurement)?
+  virtual bool wants_rtt() const = 0;
+
+  virtual void on_bytes_sent(Bytes bytes, PicoTime now) {
+    (void)bytes;
+    (void)now;
+  }
+  virtual void on_cnp(PicoTime now) { (void)now; }
+  virtual void on_rtt_sample(PicoTime rtt, PicoTime now) {
+    (void)rtt;
+    (void)now;
+  }
+};
+
+/// Creates a controller for a new flow. `active_flows` is the number of
+/// flows already active at the sending host (TIMELY starts a new flow at
+/// C/(N+1), §4).
+using RateControllerFactory =
+    std::function<std::unique_ptr<RateController>(int active_flows)>;
+
+}  // namespace ecnd::sim

@@ -1,0 +1,34 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace ecnd::sim {
+
+void Simulator::schedule_at(PicoTime t, Action action) {
+  assert(t >= now_);
+  queue_.push({t, next_seq_++, std::move(action)});
+}
+
+bool Simulator::run_one() {
+  if (queue_.empty()) return false;
+  // Move the event out before running: the action may schedule new events.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  assert(ev.t >= now_);
+  now_ = ev.t;
+  ++processed_;
+  ev.action();
+  return true;
+}
+
+void Simulator::run_until(PicoTime t_end) {
+  while (!queue_.empty() && queue_.top().t <= t_end) run_one();
+  if (now_ < t_end) now_ = t_end;
+}
+
+void Simulator::run_all() {
+  while (run_one()) {
+  }
+}
+
+}  // namespace ecnd::sim

@@ -1,0 +1,61 @@
+#pragma once
+// Discrete-event simulation core.
+//
+// This is the substrate standing in for ns-3 in the paper's packet-level
+// experiments. Time is integer picoseconds (PicoTime) so event ordering is
+// exact; ties break in schedule order (FIFO), which keeps runs deterministic
+// regardless of priority-queue internals.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace ecnd::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  PicoTime now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+  /// Schedule `action` to run at absolute time `t` (>= now).
+  void schedule_at(PicoTime t, Action action);
+  /// Schedule `action` to run `delay` picoseconds from now.
+  void schedule_in(PicoTime delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Run the next pending event; returns false when the queue is empty.
+  bool run_one();
+
+  /// Run all events with time <= t_end, then advance the clock to t_end.
+  void run_until(PicoTime t_end);
+
+  /// Run until the event queue drains completely.
+  void run_all();
+
+ private:
+  struct Event {
+    PicoTime t;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  PicoTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ecnd::sim

@@ -1,0 +1,71 @@
+#include "sim/switch.hpp"
+
+#include <cassert>
+
+namespace ecnd::sim {
+
+int Switch::add_port(BitsPerSecond rate, PicoTime propagation) {
+  const int index = num_ports();
+  auto port = std::make_unique<Port>(
+      sim_, rng_, name() + ":p" + std::to_string(index), rate, propagation);
+  port->on_dequeue = [this](const Packet& pkt) { account_dequeue(pkt); };
+  ports_.push_back(std::move(port));
+  ingress_bytes_.push_back(0);
+  ingress_paused_.push_back(false);
+  return index;
+}
+
+void Switch::set_red_all(const RedConfig& red) {
+  for (auto& port : ports_) port->set_red(red);
+}
+
+void Switch::send_pfc(int ingress_port, PacketType type) {
+  Packet frame;
+  frame.type = type;
+  frame.size = kControlPacketBytes;
+  // PFC frames are hop-local: they terminate at the upstream neighbor.
+  port(ingress_port).enqueue(frame);
+  ++pause_frames_;
+}
+
+void Switch::receive(Packet pkt, int ingress_port) {
+  if (pkt.type == PacketType::kPause) {
+    port(ingress_port).pfc_pause();
+    return;
+  }
+  if (pkt.type == PacketType::kResume) {
+    port(ingress_port).pfc_resume();
+    return;
+  }
+
+  const auto route = routes_.find(pkt.dst_host);
+  assert(route != routes_.end() && "no route for destination host");
+  const int egress = route->second;
+
+  if (pkt.type == PacketType::kData) {
+    pkt.ingress_port = ingress_port;
+    auto& buffered = ingress_bytes_[static_cast<std::size_t>(ingress_port)];
+    buffered += pkt.size;
+    if (pfc_.enabled && !ingress_paused_[static_cast<std::size_t>(ingress_port)] &&
+        buffered > pfc_.pause_threshold) {
+      ingress_paused_[static_cast<std::size_t>(ingress_port)] = true;
+      send_pfc(ingress_port, PacketType::kPause);
+    }
+  }
+  port(egress).enqueue(pkt);
+}
+
+void Switch::account_dequeue(const Packet& pkt) {
+  if (pkt.ingress_port < 0) return;
+  const auto idx = static_cast<std::size_t>(pkt.ingress_port);
+  assert(idx < ingress_bytes_.size());
+  ingress_bytes_[idx] -= pkt.size;
+  assert(ingress_bytes_[idx] >= 0);
+  if (pfc_.enabled && ingress_paused_[idx] &&
+      ingress_bytes_[idx] < pfc_.resume_threshold) {
+    ingress_paused_[idx] = false;
+    send_pfc(pkt.ingress_port, PacketType::kResume);
+  }
+}
+
+}  // namespace ecnd::sim

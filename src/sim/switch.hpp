@@ -1,0 +1,69 @@
+#pragma once
+// Output-queued shared-buffer switch with RED/ECN marking and PFC
+// (IEEE 802.1Qbb) on the data priority.
+//
+// PFC model: the switch attributes every buffered data byte to the ingress
+// port it arrived through. When an ingress's share exceeds the pause
+// threshold, a PAUSE frame is sent back out of that port (control priority,
+// never paused itself); the upstream transmitter stops sending data until a
+// RESUME follows once the share drains below the resume threshold. With sane
+// headroom this makes the fabric drop-free, which is the premise of the
+// paper's RoCEv2 setting.
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/node.hpp"
+#include "sim/port.hpp"
+
+namespace ecnd::sim {
+
+struct PfcConfig {
+  bool enabled = false;
+  Bytes pause_threshold = kilobytes(256.0);
+  Bytes resume_threshold = kilobytes(192.0);
+};
+
+class Switch final : public Node {
+ public:
+  Switch(Simulator& sim, Rng& rng, std::string name, int id)
+      : Node(std::move(name), id), sim_(sim), rng_(rng) {}
+
+  /// Add an egress port transmitting at `rate` over a link with the given
+  /// propagation delay; returns the port index (also its ingress index).
+  int add_port(BitsPerSecond rate, PicoTime propagation);
+
+  Port& port(int index) { return *ports_[static_cast<std::size_t>(index)]; }
+  const Port& port(int index) const { return *ports_[static_cast<std::size_t>(index)]; }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+
+  void set_route(int dst_host, int egress_port) { routes_[dst_host] = egress_port; }
+  bool has_route(int dst_host) const { return routes_.contains(dst_host); }
+
+  void set_pfc(const PfcConfig& pfc) { pfc_ = pfc; }
+  /// Apply a RED profile to every current port.
+  void set_red_all(const RedConfig& red);
+
+  void receive(Packet pkt, int ingress_port) override;
+
+  Bytes ingress_buffered(int ingress_port) const {
+    return ingress_bytes_[static_cast<std::size_t>(ingress_port)];
+  }
+  std::uint64_t pause_frames_sent() const { return pause_frames_; }
+
+ private:
+  void account_dequeue(const Packet& pkt);
+  void send_pfc(int ingress_port, PacketType type);
+
+  Simulator& sim_;
+  Rng& rng_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::unordered_map<int, int> routes_;
+  PfcConfig pfc_;
+  std::vector<Bytes> ingress_bytes_;
+  std::vector<bool> ingress_paused_;
+  std::uint64_t pause_frames_ = 0;
+};
+
+}  // namespace ecnd::sim

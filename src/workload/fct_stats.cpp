@@ -1,0 +1,29 @@
+#include "workload/fct_stats.hpp"
+
+namespace ecnd::workload {
+
+std::vector<double> fcts_us(const std::vector<sim::FlowRecord>& records,
+                            Bytes max_size) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const sim::FlowRecord& record : records) {
+    if (max_size > 0 && record.size >= max_size) continue;
+    out.push_back(to_microseconds(record.fct()));
+  }
+  return out;
+}
+
+FctSummary summarize(std::vector<double> fcts) {
+  FctSummary s;
+  s.count = fcts.size();
+  if (fcts.empty()) return s;
+  double sum = 0.0;
+  for (double v : fcts) sum += v;
+  s.mean_us = sum / static_cast<double>(fcts.size());
+  s.median_us = percentile(fcts, 50.0);
+  s.p90_us = percentile(fcts, 90.0);
+  s.p99_us = percentile(std::move(fcts), 99.0);
+  return s;
+}
+
+}  // namespace ecnd::workload

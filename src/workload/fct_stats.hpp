@@ -1,0 +1,26 @@
+#pragma once
+// Flow-completion-time reductions for the Figure 14-15 harnesses.
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "sim/host.hpp"
+
+namespace ecnd::workload {
+
+struct FctSummary {
+  std::size_t count = 0;
+  double mean_us = 0.0;
+  double median_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// FCTs (microseconds) of flows with size < `max_size` (paper: "small" means
+/// < 100KB, following pFabric). Pass max_size = 0 for all flows.
+std::vector<double> fcts_us(const std::vector<sim::FlowRecord>& records,
+                            Bytes max_size);
+
+FctSummary summarize(std::vector<double> fcts_us);
+
+}  // namespace ecnd::workload

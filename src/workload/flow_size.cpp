@@ -1,0 +1,73 @@
+#include "workload/flow_size.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecnd::workload {
+
+FlowSizeDistribution::FlowSizeDistribution(std::vector<Point> points)
+    : points_(std::move(points)) {
+  assert(points_.size() >= 2);
+  assert(points_.back().cdf == 1.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].size > points_[i - 1].size);
+    assert(points_[i].cdf >= points_[i - 1].cdf);
+  }
+  // Mean via the trapezoid rule over the inverse CDF: an atom at the first
+  // point plus uniform mass within each segment.
+  mean_ = points_.front().cdf * static_cast<double>(points_.front().size);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double mass = points_[i].cdf - points_[i - 1].cdf;
+    const double mid = 0.5 * (static_cast<double>(points_[i].size) +
+                              static_cast<double>(points_[i - 1].size));
+    mean_ += mass * mid;
+  }
+}
+
+Bytes FlowSizeDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  if (u <= points_.front().cdf) return points_.front().size;
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), u,
+      [](const Point& p, double uu) { return p.cdf < uu; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double span = hi.cdf - lo.cdf;
+  if (span <= 0.0) return hi.size;
+  const double w = (u - lo.cdf) / span;
+  const double size = static_cast<double>(lo.size) +
+                      w * static_cast<double>(hi.size - lo.size);
+  return std::max<Bytes>(1, static_cast<Bytes>(size));
+}
+
+FlowSizeDistribution FlowSizeDistribution::web_search() {
+  return FlowSizeDistribution({
+      {kilobytes(1.0), 0.00},
+      {kilobytes(10.0), 0.15},
+      {kilobytes(20.0), 0.20},
+      {kilobytes(30.0), 0.30},
+      {kilobytes(50.0), 0.40},
+      {kilobytes(80.0), 0.53},
+      {kilobytes(200.0), 0.60},
+      {kilobytes(1000.0), 0.70},
+      {kilobytes(2000.0), 0.80},
+      {kilobytes(5000.0), 0.90},
+      {kilobytes(10000.0), 0.97},
+      {kilobytes(30000.0), 1.00},
+  });
+}
+
+FlowSizeDistribution FlowSizeDistribution::data_mining() {
+  return FlowSizeDistribution({
+      {100, 0.00},
+      {kilobytes(1.0), 0.50},
+      {kilobytes(10.0), 0.60},
+      {kilobytes(100.0), 0.70},
+      {kilobytes(1000.0), 0.80},
+      {kilobytes(10000.0), 0.90},
+      {kilobytes(100000.0), 0.97},
+      {kilobytes(1000000.0), 1.00},
+  });
+}
+
+}  // namespace ecnd::workload

@@ -1,0 +1,43 @@
+#pragma once
+// Empirical flow-size distributions for the FCT study (paper §5.1): "The
+// flow size distribution is derived from the traffic distribution reported
+// in [2]" — the DCTCP web-search workload, which pFabric and ProjecToR also
+// used. We encode it as CDF control points with linear interpolation within
+// segments, the standard discretization in the literature.
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+
+namespace ecnd::workload {
+
+class FlowSizeDistribution {
+ public:
+  struct Point {
+    Bytes size;
+    double cdf;  // P(S <= size)
+  };
+
+  /// Build from CDF control points (strictly increasing in both fields;
+  /// first cdf may be > 0 meaning an atom at the first size; last must be 1).
+  explicit FlowSizeDistribution(std::vector<Point> points);
+
+  /// The DCTCP web-search workload ([2]): ~50% of flows under 100KB, a heavy
+  /// tail to 30MB, mean ~= 1.7MB.
+  static FlowSizeDistribution web_search();
+
+  /// DCTCP data-mining-style workload (even heavier tail), used by the
+  /// extension benchmarks.
+  static FlowSizeDistribution data_mining();
+
+  Bytes sample(Rng& rng) const;
+  double mean_bytes() const { return mean_; }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+  double mean_ = 0.0;
+};
+
+}  // namespace ecnd::workload

@@ -1,0 +1,60 @@
+#include "workload/traffic.hpp"
+
+#include <cassert>
+
+namespace ecnd::workload {
+
+PoissonTraffic::PoissonTraffic(sim::Dumbbell& dumbbell,
+                               FlowSizeDistribution sizes, TrafficConfig config)
+    : dumbbell_(dumbbell),
+      sizes_(std::move(sizes)),
+      config_(config),
+      rng_(config.seed) {
+  assert(config_.load > 0.0);
+  assert(!dumbbell_.senders.empty() && !dumbbell_.receivers.empty());
+}
+
+double PoissonTraffic::offered_load_bps() const {
+  return config_.load * config_.full_load_bps;
+}
+
+void PoissonTraffic::start() {
+  for (sim::Host* receiver : dumbbell_.receivers) {
+    receiver->on_flow_complete = [this](const sim::FlowRecord& record) {
+      completed_.push_back(record);
+    };
+  }
+  schedule_next_arrival();
+}
+
+void PoissonTraffic::schedule_next_arrival() {
+  if (generated_ >= config_.num_flows) return;
+  const double mean_interarrival_s =
+      sizes_.mean_bytes() * 8.0 / offered_load_bps();
+  const double wait_s = rng_.exponential(mean_interarrival_s);
+  dumbbell_.net->sim().schedule_in(seconds(wait_s), [this] {
+    launch_flow();
+    schedule_next_arrival();
+  });
+}
+
+void PoissonTraffic::launch_flow() {
+  sim::Host* sender =
+      dumbbell_.senders[rng_.uniform_index(dumbbell_.senders.size())];
+  sim::Host* receiver =
+      dumbbell_.receivers[rng_.uniform_index(dumbbell_.receivers.size())];
+  sender->start_flow(receiver->id(), sizes_.sample(rng_));
+  ++generated_;
+}
+
+bool PoissonTraffic::run_to_completion(PicoTime max_time) {
+  sim::Simulator& sim = dumbbell_.net->sim();
+  while (sim.now() < max_time &&
+         (generated_ < config_.num_flows ||
+          completed_.size() < static_cast<std::size_t>(generated_))) {
+    if (!sim.run_one()) break;
+  }
+  return completed_.size() == static_cast<std::size_t>(config_.num_flows);
+}
+
+}  // namespace ecnd::workload

@@ -1,0 +1,51 @@
+#pragma once
+// Poisson open-loop traffic over a dumbbell (paper §5.1): flows between
+// randomly selected sender/receiver pairs, exponential interarrival times
+// whose mean realizes the requested load on the bottleneck, sizes drawn
+// from an empirical distribution. Load factor 1.0 = 8 Gb/s of offered load
+// on the bottleneck, as in Figure 14.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "workload/flow_size.hpp"
+
+namespace ecnd::workload {
+
+struct TrafficConfig {
+  double load = 0.8;  ///< relative load; 1.0 = full_load_bps offered
+  BitsPerSecond full_load_bps = gbps(8.0);
+  int num_flows = 2000;  ///< flows to generate before stopping
+  std::uint64_t seed = 1;
+};
+
+class PoissonTraffic {
+ public:
+  PoissonTraffic(sim::Dumbbell& dumbbell, FlowSizeDistribution sizes,
+                 TrafficConfig config);
+
+  /// Install completion hooks and schedule the first arrival.
+  void start();
+
+  /// Run the simulation until all generated flows complete (or the event
+  /// queue drains / `max_time` passes). Returns true if all completed.
+  bool run_to_completion(PicoTime max_time);
+
+  int generated() const { return generated_; }
+  const std::vector<sim::FlowRecord>& completed() const { return completed_; }
+  double offered_load_bps() const;
+
+ private:
+  void schedule_next_arrival();
+  void launch_flow();
+
+  sim::Dumbbell& dumbbell_;
+  FlowSizeDistribution sizes_;
+  TrafficConfig config_;
+  Rng rng_;
+  int generated_ = 0;
+  std::vector<sim::FlowRecord> completed_;
+};
+
+}  // namespace ecnd::workload

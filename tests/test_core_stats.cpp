@@ -1,0 +1,102 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnd {
+namespace {
+
+TEST(Percentile, EmptyYieldsZero) { EXPECT_EQ(percentile({}, 50.0), 0.0); }
+
+TEST(Percentile, SingleValue) {
+  EXPECT_EQ(percentile({4.0}, 0.0), 4.0);
+  EXPECT_EQ(percentile({4.0}, 50.0), 4.0);
+  EXPECT_EQ(percentile({4.0}, 100.0), 4.0);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Percentile, MedianInterpolatesEvenCount) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0, 3.0, 7.0}, 100.0), 9.0);
+  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0, 3.0, 7.0}, 0.0), 1.0);
+}
+
+TEST(Percentile, LinearInterpolationBetweenRanks) {
+  // ranks 0..3 -> p90 = rank 2.7 between 30 and 40.
+  EXPECT_NEAR(percentile({10.0, 20.0, 30.0, 40.0}, 90.0), 37.0, 1e-9);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  EXPECT_EQ(percentile({1.0, 2.0}, -5.0), 1.0);
+  EXPECT_EQ(percentile({1.0, 2.0}, 150.0), 2.0);
+}
+
+TEST(JainFairness, PerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({5.0, 5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(JainFairness, SingleFlowIsFairByDefinition) {
+  EXPECT_DOUBLE_EQ(jain_fairness({3.0}), 1.0);
+}
+
+TEST(JainFairness, TotallyUnfairApproaches1OverN) {
+  const double j = jain_fairness({10.0, 0.0, 0.0, 0.0});
+  EXPECT_NEAR(j, 0.25, 1e-12);
+}
+
+TEST(JainFairness, EmptyAndZeroInputs) {
+  EXPECT_EQ(jain_fairness({}), 0.0);
+  EXPECT_EQ(jain_fairness({0.0, 0.0}), 0.0);
+}
+
+TEST(JainFairness, KnownTwoFlowValue) {
+  // (1+3)^2 / (2*(1+9)) = 16/20.
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 3.0}), 0.8);
+}
+
+TEST(EmpiricalCdf, EndpointsAndMonotonicity) {
+  auto cdf = empirical_cdf({5.0, 1.0, 3.0, 2.0, 4.0}, 5);
+  ASSERT_EQ(cdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 5.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+}
+
+TEST(EmpiricalCdf, ReducesLargePopulations) {
+  std::vector<double> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(static_cast<double>(i));
+  auto cdf = empirical_cdf(v, 64);
+  EXPECT_EQ(cdf.size(), 64u);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 9999.0);
+}
+
+TEST(EmpiricalCdf, EmptyInput) { EXPECT_TRUE(empirical_cdf({}, 8).empty()); }
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace ecnd

@@ -1,0 +1,69 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ecnd {
+namespace {
+
+TEST(Table, AlignedPrintContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.row().cell("queue").cell(42.5, 1);
+  t.row().cell("rate").cell(7LL);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("42.5"), std::string::npos);
+  EXPECT_NE(out.find("rate"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.row().cell("plain").cell("has,comma");
+  t.row().cell("has\"quote").cell("x");
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().cell(1LL);
+  t.row().cell(2LL);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Sparkline, EmptyAndFlat) {
+  EXPECT_TRUE(sparkline({}).empty());
+  const std::string flat = sparkline({1.0, 1.0, 1.0});
+  EXPECT_FALSE(flat.empty());
+}
+
+TEST(Sparkline, MonotoneRampUsesIncreasingLevels) {
+  const std::string s = sparkline({0, 1, 2, 3, 4, 5, 6, 7});
+  // First glyph must differ from last for a ramp.
+  EXPECT_NE(s.substr(0, 3), s.substr(s.size() - 3));
+}
+
+TEST(AsciiChart, ProducesGridOfRequestedHeight) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>(i % 10));
+  const std::string chart = ascii_chart(v, 6, 40);
+  int lines = 0;
+  for (char c : chart) lines += c == '\n';
+  EXPECT_GE(lines, 7);  // 6 rows + axis + stats line
+  EXPECT_NE(chart.find("min="), std::string::npos);
+}
+
+TEST(AsciiChart, DegenerateInputs) {
+  EXPECT_TRUE(ascii_chart({}, 6, 40).empty());
+  EXPECT_TRUE(ascii_chart({1.0}, 1, 40).empty());
+}
+
+}  // namespace
+}  // namespace ecnd

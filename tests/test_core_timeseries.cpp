@@ -1,0 +1,94 @@
+#include "core/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnd {
+namespace {
+
+TimeSeries ramp() {
+  TimeSeries ts("ramp");
+  for (int i = 0; i <= 10; ++i) ts.push(i * 0.1, i * 1.0);
+  return ts;
+}
+
+TEST(TimeSeries, EmptyBasics) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.value_at(1.0), 0.0);
+  EXPECT_EQ(ts.mean_over(0.0, 1.0), 0.0);
+}
+
+TEST(TimeSeries, ValueAtInterpolates) {
+  TimeSeries ts;
+  ts.push(0.0, 0.0);
+  ts.push(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(0.25), 2.5);
+}
+
+TEST(TimeSeries, ValueAtClampsOutsideSpan) {
+  TimeSeries ts = ramp();
+  EXPECT_DOUBLE_EQ(ts.value_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(99.0), 10.0);
+}
+
+TEST(TimeSeries, WindowExtremes) {
+  TimeSeries ts = ramp();
+  EXPECT_DOUBLE_EQ(ts.min_over(0.25, 0.85), 3.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(0.25, 0.85), 8.0);
+}
+
+TEST(TimeSeries, MeanOverIsTimeWeighted) {
+  TimeSeries ts;
+  ts.push(0.0, 0.0);
+  ts.push(1.0, 0.0);
+  ts.push(1.5, 2.0);  // short excursion
+  ts.push(2.0, 0.0);
+  // trapezoid area = 0 + 0.5 + 0.5 = 1.0 over span 2 -> mean 0.5.
+  EXPECT_NEAR(ts.mean_over(0.0, 2.0), 0.5, 1e-12);
+}
+
+TEST(TimeSeries, StddevOfConstantIsZero) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.push(i, 4.0);
+  EXPECT_DOUBLE_EQ(ts.stddev_over(0.0, 9.0), 0.0);
+}
+
+TEST(TimeSeries, StddevDetectsOscillation) {
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) ts.push(i, i % 2 ? 1.0 : -1.0);
+  EXPECT_NEAR(ts.stddev_over(0.0, 99.0), 1.0, 1e-9);
+}
+
+TEST(TimeSeries, ResampleUniformGrid) {
+  TimeSeries ts = ramp();
+  TimeSeries rs = ts.resampled(5);
+  ASSERT_EQ(rs.size(), 5u);
+  EXPECT_DOUBLE_EQ(rs[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(rs[4].t, 1.0);
+  EXPECT_NEAR(rs[2].value, 5.0, 1e-9);
+}
+
+TEST(TimeSeries, DecimateKeepsEndpoints) {
+  TimeSeries ts = ramp();
+  ts.decimate(4);
+  EXPECT_LT(ts.size(), 11u);
+  EXPECT_DOUBLE_EQ(ts.samples().front().t, 0.0);
+  EXPECT_DOUBLE_EQ(ts.samples().back().t, 1.0);
+}
+
+TEST(TimeSeries, DecimateNoOpForSmallK) {
+  TimeSeries ts = ramp();
+  const std::size_t n = ts.size();
+  ts.decimate(1);
+  EXPECT_EQ(ts.size(), n);
+}
+
+TEST(TimeSeries, WindowOutsideDataIsZero) {
+  TimeSeries ts = ramp();
+  EXPECT_EQ(ts.mean_over(5.0, 6.0), 0.0);
+  EXPECT_EQ(ts.max_over(5.0, 6.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ecnd

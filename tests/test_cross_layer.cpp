@@ -1,0 +1,170 @@
+// Cross-layer property tests: the analytic layer, the fluid layer and the
+// packet layer must tell one consistent story. These are the reproduction's
+// strongest internal checks — each parameterized case pins a prediction from
+// one layer against a measurement from another.
+
+#include <gtest/gtest.h>
+
+#include "control/dcqcn_analysis.hpp"
+#include "control/phase_margin.hpp"
+#include "control/timely_analysis.hpp"
+#include "exp/scenarios.hpp"
+#include "fluid/dcqcn_model.hpp"
+#include "fluid/fluid_model.hpp"
+#include "fluid/timely_model.hpp"
+
+namespace ecnd {
+namespace {
+
+// ---- DCQCN: analytic fixed point vs fluid vs packets, across N ----
+
+class DcqcnThreeLayer : public ::testing::TestWithParam<int> {};
+
+TEST_P(DcqcnThreeLayer, FluidSettlesOnAnalyticFixedPoint) {
+  fluid::DcqcnFluidParams p;
+  p.num_flows = GetParam();
+  p.feedback_delay = 4e-6;
+  p.red_linear_extension = true;
+  const auto fp = control::solve_dcqcn_fixed_point(p);
+  fluid::DcqcnFluidModel model(p);
+  const auto run = fluid::simulate(model, 0.3, 5e-4);
+  EXPECT_NEAR(run.queue_bytes.mean_over(0.25, 0.3), fp.q_star_bytes(p),
+              0.05 * fp.q_star_bytes(p))
+      << "N=" << GetParam();
+  EXPECT_NEAR(run.flow_rate_gbps[0].mean_over(0.25, 0.3),
+              10.0 / GetParam(), 0.1 * 10.0 / GetParam());
+}
+
+TEST_P(DcqcnThreeLayer, PacketAndFluidAgreeOnInteriorFixedPoints) {
+  // With the verbatim Equation-3 profile, interior fixed points exist for
+  // small N; both layers must land on them. For larger N the packet layer
+  // pins just under Kmax — also matched by the saturating fluid run.
+  const int n = GetParam();
+  fluid::DcqcnFluidParams p;
+  p.num_flows = n;
+  p.feedback_delay = 4e-6;
+  fluid::DcqcnFluidModel model(p);
+  const auto fluid_run = fluid::simulate(model, 0.06, 5e-4);
+
+  exp::LongFlowConfig config;
+  config.protocol = exp::Protocol::kDcqcn;
+  config.flows = n;
+  config.duration_s = 0.06;
+  const auto packet_run = exp::run_long_flows(config);
+
+  const double fluid_q = fluid_run.queue_bytes.mean_over(0.04, 0.06);
+  const double packet_q = packet_run.queue_bytes.mean_over(0.04, 0.06);
+  EXPECT_NEAR(packet_q, fluid_q, 0.25 * fluid_q + 10e3) << "N=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, DcqcnThreeLayer, ::testing::Values(2, 3, 10));
+
+// ---- Phase margin sign vs time-domain behavior of the same fluid model ----
+
+struct MarginCase {
+  int flows;
+  double delay_us;
+};
+
+class MarginVsTimeDomain : public ::testing::TestWithParam<MarginCase> {};
+
+TEST_P(MarginVsTimeDomain, PositiveMarginImpliesSettledFluid) {
+  // The linearization lives on the extended profile; integrate the same
+  // profile and check the verdicts line up.
+  const MarginCase c = GetParam();
+  fluid::DcqcnFluidParams p;
+  p.num_flows = c.flows;
+  p.feedback_delay = c.delay_us * 1e-6;
+  p.red_linear_extension = true;
+  const auto report = control::dcqcn_stability(p);
+  fluid::DcqcnFluidModel model(p);
+  const auto run = fluid::simulate(model, 0.4, 5e-4);
+  const double std_rel = run.queue_bytes.stddev_over(0.3, 0.4) /
+                         std::max(run.queue_bytes.mean_over(0.3, 0.4), 1.0);
+  if (report.phase_margin_deg > 5.0) {
+    EXPECT_LT(std_rel, 0.1) << "N=" << c.flows << " delay=" << c.delay_us;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corners, MarginVsTimeDomain,
+                         ::testing::Values(MarginCase{2, 1.0}, MarginCase{2, 85.0},
+                                           MarginCase{10, 4.0}, MarginCase{10, 85.0},
+                                           MarginCase{32, 50.0}, MarginCase{64, 85.0}));
+
+// ---- Patched TIMELY: Equation 31 across layers ----
+
+class PatchedThreeLayer : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatchedThreeLayer, PacketQueueTracksEquation31) {
+  const int n = GetParam();
+  fluid::TimelyFluidParams p = fluid::patched_timely_defaults();
+  p.num_flows = n;
+  const auto fp = control::patched_timely_fixed_point(p);
+
+  exp::LongFlowConfig config;
+  config.protocol = exp::Protocol::kPatchedTimely;
+  config.flows = n;
+  config.duration_s = 0.25;
+  const auto result = exp::run_long_flows(config);
+  const double q_star_bytes = fp.q_star_pkts * p.mtu_bytes;
+  EXPECT_NEAR(result.queue_bytes.mean_over(0.2, 0.25), q_star_bytes,
+              0.2 * q_star_bytes)
+      << "N=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, PatchedThreeLayer,
+                         ::testing::Values(2, 8, 16, 32));
+
+// ---- Jitter asymmetry: the paper's central qualitative claim ----
+
+TEST(JitterAsymmetry, EcnShrugsDelayBreaks) {
+  const fluid::JitterProcess jitter(100e-6, 20e-6, 31337);
+
+  fluid::DcqcnFluidParams dp;
+  dp.num_flows = 2;
+  dp.feedback_delay = 4e-6;
+  dp.feedback_jitter = jitter;
+  fluid::DcqcnFluidModel dcqcn(dp);
+  const auto dcqcn_run = fluid::simulate(dcqcn, 0.25, 5e-4);
+
+  fluid::TimelyFluidParams tp = fluid::patched_timely_defaults();
+  tp.num_flows = 2;
+  tp.feedback_jitter = jitter;
+  fluid::PatchedTimelyFluidModel timely(tp);
+  const auto timely_run = fluid::simulate(timely, 0.25, 5e-4);
+
+  const double dcqcn_rate_std = dcqcn_run.flow_rate_gbps[0].stddev_over(0.15, 0.25);
+  const double timely_rate_std = timely_run.flow_rate_gbps[0].stddev_over(0.15, 0.25);
+  EXPECT_LT(dcqcn_rate_std, 0.05);
+  EXPECT_GT(timely_rate_std, 10.0 * dcqcn_rate_std + 0.05);
+
+  // DCQCN also keeps its throughput; jittered TIMELY leaves capacity unused.
+  const double dcqcn_sum = dcqcn_run.flow_rate_gbps[0].mean_over(0.15, 0.25) +
+                           dcqcn_run.flow_rate_gbps[1].mean_over(0.15, 0.25);
+  const double timely_sum = timely_run.flow_rate_gbps[0].mean_over(0.15, 0.25) +
+                            timely_run.flow_rate_gbps[1].mean_over(0.15, 0.25);
+  EXPECT_GT(dcqcn_sum, 9.8);
+  EXPECT_LT(timely_sum, dcqcn_sum);
+}
+
+// ---- FCT ordering is seed-robust ----
+
+class FctOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FctOrdering, DcqcnTailBeatsTimelyAtHighLoad) {
+  auto dcqcn_config = exp::make_fct_config(exp::Protocol::kDcqcn, 0.8);
+  dcqcn_config.num_flows = 600;
+  dcqcn_config.seed = GetParam();
+  auto timely_config = exp::make_fct_config(exp::Protocol::kTimely, 0.8);
+  timely_config.num_flows = 600;
+  timely_config.seed = GetParam();
+  const auto dcqcn = exp::run_fct_experiment(dcqcn_config);
+  const auto timely = exp::run_fct_experiment(timely_config);
+  EXPECT_GT(timely.small.p90_us, dcqcn.small.p90_us) << "seed " << GetParam();
+  EXPECT_EQ(dcqcn.drops + timely.drops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FctOrdering, ::testing::Values(11, 29, 47));
+
+}  // namespace
+}  // namespace ecnd

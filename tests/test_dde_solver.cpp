@@ -1,0 +1,153 @@
+#include "fluid/dde_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ecnd::fluid {
+namespace {
+
+/// dx/dt = -k x(t): plain exponential decay (no delay used).
+class DecaySystem final : public DdeSystem {
+ public:
+  explicit DecaySystem(double k) : k_(k) {}
+  std::size_t dim() const override { return 1; }
+  void rhs(double, std::span<const double> x, const History&,
+           std::span<double> dxdt) const override {
+    dxdt[0] = -k_ * x[0];
+  }
+  double max_delay() const override { return 1e-3; }
+
+ private:
+  double k_;
+};
+
+/// dx/dt = -k x(t - tau): the canonical delayed negative feedback; stable
+/// iff k * tau < pi/2, oscillatory-divergent beyond.
+class DelayedFeedback final : public DdeSystem {
+ public:
+  DelayedFeedback(double k, double tau) : k_(k), tau_(tau) {}
+  std::size_t dim() const override { return 1; }
+  void rhs(double t, std::span<const double>, const History& past,
+           std::span<double> dxdt) const override {
+    dxdt[0] = -k_ * past.value(0, t - tau_);
+  }
+  double max_delay() const override { return tau_; }
+
+ private:
+  double k_, tau_;
+};
+
+TEST(History, InterpolatesLinearly) {
+  History h(1);
+  double v0 = 0.0, v1 = 10.0;
+  h.append(0.0, std::span<const double>(&v0, 1));
+  h.append(1.0, std::span<const double>(&v1, 1));
+  EXPECT_DOUBLE_EQ(h.value(0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.value(0, 0.1), 1.0);
+}
+
+TEST(History, ClampsBeforeAndAfter) {
+  History h(1);
+  double v0 = 3.0, v1 = 7.0;
+  h.append(1.0, std::span<const double>(&v0, 1));
+  h.append(2.0, std::span<const double>(&v1, 1));
+  EXPECT_DOUBLE_EQ(h.value(0, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.value(0, 5.0), 7.0);
+}
+
+TEST(History, TrimKeepsRecentWindow) {
+  History h(1);
+  for (int i = 0; i <= 100; ++i) {
+    double v = static_cast<double>(i);
+    h.append(i * 0.01, std::span<const double>(&v, 1));
+  }
+  h.trim_before(0.5);
+  // Recent values still exact.
+  EXPECT_NEAR(h.value(0, 0.9), 90.0, 1e-9);
+  EXPECT_NEAR(h.value(0, 0.6), 60.0, 1e-9);
+}
+
+TEST(DdeSolver, ExponentialDecayMatchesClosedForm) {
+  DecaySystem sys(100.0);
+  DdeSolver solver(sys, {1.0}, 0.0, 1e-4);
+  solver.run_until(0.05, nullptr, 0.0);
+  EXPECT_NEAR(solver.state()[0], std::exp(-100.0 * 0.05), 1e-6);
+}
+
+TEST(DdeSolver, Rk4ConvergenceIsHighOrder) {
+  // Halving the step should shrink the error by ~16x (4th order).
+  DecaySystem sys(50.0);
+  auto error_for = [&](double dt) {
+    DdeSolver solver(sys, {1.0}, 0.0, dt);
+    solver.run_until(0.1, nullptr, 0.0);
+    return std::abs(solver.state()[0] - std::exp(-5.0));
+  };
+  const double e1 = error_for(2e-3);
+  const double e2 = error_for(1e-3);
+  EXPECT_LT(e2, e1 / 8.0);
+}
+
+TEST(DdeSolver, DelayedFeedbackStableBelowCriticalGain) {
+  // k*tau = 1.0 < pi/2: decays.
+  DelayedFeedback sys(100.0, 0.01);
+  DdeSolver solver(sys, {1.0}, 0.0, 1e-4);
+  solver.run_until(1.0, nullptr, 0.0);
+  EXPECT_LT(std::abs(solver.state()[0]), 0.05);
+}
+
+TEST(DdeSolver, DelayedFeedbackUnstableAboveCriticalGain) {
+  // k*tau = 2.0 > pi/2: oscillates with growing amplitude.
+  DelayedFeedback sys(200.0, 0.01);
+  DdeSolver solver(sys, {1.0}, 0.0, 1e-4);
+  solver.run_until(1.0, nullptr, 0.0);
+  EXPECT_GT(std::abs(solver.state()[0]), 10.0);
+}
+
+TEST(DdeSolver, DelayedOscillationPeriodAtCriticalGain) {
+  // At k*tau = pi/2 the solution oscillates with period 4*tau.
+  const double tau = 0.01;
+  DelayedFeedback sys(M_PI / 2.0 / tau, tau);
+  DdeSolver solver(sys, {1.0}, 0.0, 1e-5);
+  std::vector<double> zero_crossings;
+  double prev = 1.0;
+  solver.run_until(0.2, [&](double t, std::span<const double> x) {
+    if (prev > 0.0 && x[0] <= 0.0) zero_crossings.push_back(t);
+    prev = x[0];
+  }, 1e-5);
+  ASSERT_GE(zero_crossings.size(), 3u);
+  const double period = zero_crossings[2] - zero_crossings[1];
+  EXPECT_NEAR(period, 4.0 * tau, 0.002);
+}
+
+TEST(DdeSolver, ObserverSamplingInterval) {
+  DecaySystem sys(1.0);
+  DdeSolver solver(sys, {1.0}, 0.0, 1e-3);
+  int samples = 0;
+  solver.run_until(1.0, [&](double, std::span<const double>) { ++samples; }, 0.1);
+  EXPECT_GE(samples, 10);
+  EXPECT_LE(samples, 13);
+}
+
+TEST(DdeSolver, ClampIsApplied) {
+  // A system pushed negative but clamped at zero.
+  class Clamped final : public DdeSystem {
+   public:
+    std::size_t dim() const override { return 1; }
+    void rhs(double, std::span<const double>, const History&,
+             std::span<double> dxdt) const override {
+      dxdt[0] = -100.0;
+    }
+    void clamp(std::span<double> x) const override {
+      if (x[0] < 0.0) x[0] = 0.0;
+    }
+    double max_delay() const override { return 1e-3; }
+  };
+  Clamped sys;
+  DdeSolver solver(sys, {1.0}, 0.0, 1e-3);
+  solver.run_until(1.0, nullptr, 0.0);
+  EXPECT_DOUBLE_EQ(solver.state()[0], 0.0);
+}
+
+}  // namespace
+}  // namespace ecnd::fluid

@@ -1,0 +1,102 @@
+#include "exp/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnd::exp {
+namespace {
+
+TEST(Scenarios, ProtocolNames) {
+  EXPECT_STREQ(protocol_name(Protocol::kDcqcn), "DCQCN");
+  EXPECT_STREQ(protocol_name(Protocol::kTimely), "TIMELY");
+  EXPECT_STREQ(protocol_name(Protocol::kPatchedTimely), "Patched TIMELY");
+}
+
+TEST(Scenarios, LongFlowTracesCoverTheRun) {
+  LongFlowConfig config;
+  config.flows = 2;
+  config.duration_s = 0.01;
+  config.sample_interval_s = 1e-4;
+  const auto result = run_long_flows(config);
+  ASSERT_EQ(result.rate_gbps.size(), 2u);
+  EXPECT_GT(result.queue_bytes.size(), 80u);
+  EXPECT_NEAR(result.queue_bytes.last_time(), 0.01, 2e-3);
+  EXPECT_GT(result.rate_gbps[0].size(), 80u);
+}
+
+TEST(Scenarios, StaggeredStartDelaysSecondFlow) {
+  LongFlowConfig config;
+  config.flows = 2;
+  config.duration_s = 0.03;
+  config.start_times_s = {0.0, 0.02};
+  const auto result = run_long_flows(config);
+  // Before 20 ms the second flow has no rate; after, it does.
+  EXPECT_EQ(result.rate_gbps[1].value_at(0.01), 0.0);
+  EXPECT_GT(result.rate_gbps[1].value_at(0.028), 0.1);
+}
+
+TEST(Scenarios, TimelyRunsDisableEcnMachinery) {
+  LongFlowConfig config;
+  config.protocol = Protocol::kTimely;
+  config.flows = 2;
+  config.duration_s = 0.02;
+  config.initial_rate_fraction = {0.5, 0.5};
+  const auto result = run_long_flows(config);
+  EXPECT_EQ(result.cnps, 0u);  // no marks -> no CNPs
+}
+
+TEST(Scenarios, UtilizationBounded) {
+  LongFlowConfig config;
+  config.flows = 4;
+  config.duration_s = 0.02;
+  const auto result = run_long_flows(config);
+  EXPECT_GT(result.utilization, 0.5);
+  EXPECT_LE(result.utilization, 1.02);
+}
+
+TEST(Scenarios, FctConfigDefaultsEncodeSection51) {
+  const auto timely = make_fct_config(Protocol::kTimely, 0.6);
+  EXPECT_TRUE(timely.timely.burst_pacing);
+  EXPECT_EQ(timely.timely.segment, kilobytes(64.0));
+  EXPECT_TRUE(timely.patched.burst_pacing);
+  EXPECT_EQ(timely.patched.segment, kilobytes(16.0));
+  EXPECT_DOUBLE_EQ(timely.load, 0.6);
+  EXPECT_TRUE(timely.pfc.enabled);
+}
+
+TEST(Scenarios, FctExperimentSmallRun) {
+  auto config = make_fct_config(Protocol::kDcqcn, 0.4);
+  config.num_flows = 200;
+  config.seed = 5;
+  const auto result = run_fct_experiment(config);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_GT(result.small.count, 50u);
+  EXPECT_GT(result.small.median_us, 0.0);
+  EXPECT_LE(result.small.median_us, result.small.p90_us);
+  EXPECT_LE(result.small.p90_us, result.small.p99_us);
+  EXPECT_FALSE(result.queue_bytes.empty());
+}
+
+TEST(Scenarios, DifferentSeedsDifferentTraffic) {
+  auto a = make_fct_config(Protocol::kDcqcn, 0.4);
+  a.num_flows = 100;
+  a.seed = 1;
+  auto b = a;
+  b.seed = 2;
+  const auto ra = run_fct_experiment(a);
+  const auto rb = run_fct_experiment(b);
+  EXPECT_NE(ra.small.median_us, rb.small.median_us);
+}
+
+TEST(Scenarios, SameSeedReproducesExactly) {
+  auto config = make_fct_config(Protocol::kPatchedTimely, 0.5);
+  config.num_flows = 150;
+  config.seed = 42;
+  const auto r1 = run_fct_experiment(config);
+  const auto r2 = run_fct_experiment(config);
+  EXPECT_EQ(r1.small.count, r2.small.count);
+  EXPECT_DOUBLE_EQ(r1.small.median_us, r2.small.median_us);
+  EXPECT_DOUBLE_EQ(r1.overall.p99_us, r2.overall.p99_us);
+}
+
+}  // namespace
+}  // namespace ecnd::exp

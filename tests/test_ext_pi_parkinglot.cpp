@@ -1,0 +1,159 @@
+// Tests for the two extension subsystems the paper's §7 calls for: the
+// packet-level PI AQM (PIE-style marking, §5.2/Equation 32) and the
+// multi-bottleneck parking-lot topology.
+
+#include <gtest/gtest.h>
+
+#include "exp/scenarios.hpp"
+#include "proto/factories.hpp"
+#include "sim/network.hpp"
+
+namespace ecnd {
+namespace {
+
+TEST(PiAqm, MarkingProbabilityStartsAtZero) {
+  sim::Network net(1);
+  sim::StarConfig config;
+  config.senders = 1;
+  sim::Star star = make_star(net, config);
+  sim::PiAqmConfig pi;
+  pi.enabled = true;
+  star.bottleneck().set_pi_aqm(pi);
+  EXPECT_EQ(star.bottleneck().pi_marking_probability(), 0.0);
+}
+
+TEST(PiAqm, ControllerRampsUnderStandingQueue) {
+  // Two unpaced line-rate senders build a standing queue; the integrator
+  // must wind the marking probability up from zero.
+  sim::Network net(2);
+  sim::StarConfig config;
+  config.senders = 2;
+  sim::Star star = make_star(net, config);
+  sim::PiAqmConfig pi;
+  pi.enabled = true;
+  star.bottleneck().set_pi_aqm(pi);
+  for (sim::Host* s : star.senders) {
+    s->set_controller_factory([](int) {
+      struct Unpaced final : sim::RateController {
+        BitsPerSecond rate() const override { return gbps(10.0); }
+        Bytes chunk_bytes() const override { return 1000; }
+        bool burst_pacing() const override { return false; }
+        bool wants_rtt() const override { return false; }
+      };
+      return std::make_unique<Unpaced>();
+    });
+  }
+  for (sim::Host* s : star.senders) s->start_flow(star.receiver->id(), megabytes(20.0));
+  net.sim().run_until(seconds(0.01));
+  EXPECT_GT(star.bottleneck().pi_marking_probability(), 0.0);
+  EXPECT_GT(star.bottleneck().marked_packets(), 0u);
+}
+
+class PiAqmFlowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PiAqmFlowSweep, DcqcnQueuePinsToReferenceAtPacketLevel) {
+  // Packet-level analogue of Figure 18: with PI marking the bottleneck queue
+  // settles near qref regardless of the flow count, and rates stay fair.
+  exp::LongFlowConfig config;
+  config.protocol = exp::Protocol::kDcqcn;
+  config.flows = GetParam();
+  config.duration_s = 1.0;
+  config.pi_aqm.enabled = true;
+  config.pi_aqm.qref = kilobytes(50.0);
+  config.duration_s = 1.2;
+  const auto result = exp::run_long_flows(config);
+  // The packet-level controller holds the *mean* at qref; the discrete
+  // CNP/marking machinery still saws around it.
+  const double mean_kb = result.queue_bytes.mean_over(0.9, 1.2) / 1e3;
+  EXPECT_NEAR(mean_kb, 50.0, 30.0);
+  std::vector<double> rates;
+  for (const auto& series : result.rate_gbps) rates.push_back(series.mean_over(0.9, 1.2));
+  EXPECT_GT(jain_fairness(rates), 0.9);
+  EXPECT_GT(result.utilization, 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, PiAqmFlowSweep, ::testing::Values(2, 8, 16));
+
+TEST(PiAqm, QueueIndependentOfFlowCountUnlikeRed) {
+  // RED's fixed point grows with N (Equation 9/14); PI's does not. Compare
+  // the queue at N=2 vs N=16 under both markers.
+  auto run = [](int flows, bool pi) {
+    exp::LongFlowConfig config;
+    config.protocol = exp::Protocol::kDcqcn;
+    config.flows = flows;
+    config.duration_s = 1.0;
+    config.pi_aqm.enabled = pi;
+    const auto result = exp::run_long_flows(config);
+    return result.queue_bytes.mean_over(0.7, 1.0) / 1e3;
+  };
+  const double red_growth = run(10, false) / run(2, false);
+  const double pi_growth = run(10, true) / run(2, true);
+  EXPECT_GT(red_growth, 1.4);  // RED queue grows with N (113 -> ~198 KB)
+  EXPECT_LT(pi_growth, 1.3);   // PI queue pinned at qref
+}
+
+TEST(ParkingLot, RoutesAndTopologyShape) {
+  sim::Network net(1);
+  sim::ParkingLotConfig config;
+  sim::ParkingLot lot = make_parking_lot(net, config);
+  ASSERT_EQ(lot.switches.size(), 3u);
+  // Long flow's receiver must be routed through both trunks.
+  EXPECT_TRUE(lot.switches[0]->has_route(lot.long_receiver->id()));
+  EXPECT_TRUE(lot.switches[1]->has_route(lot.long_receiver->id()));
+  EXPECT_TRUE(lot.switches[2]->has_route(lot.long_receiver->id()));
+}
+
+TEST(ParkingLot, DcqcnSharesBothBottlenecks) {
+  // Classic parking-lot outcome: the 2-hop flow competes at both trunks and
+  // ends up with less than either 1-hop flow, while both trunks stay busy
+  // and nothing is dropped.
+  sim::Network net(5);
+  sim::ParkingLotConfig config;
+  config.red.enabled = true;
+  sim::ParkingLot lot = make_parking_lot(net, config);
+  auto factory = proto::make_dcqcn_factory(net.sim(), proto::DcqcnRpParams{});
+  lot.long_sender->set_controller_factory(factory);
+  lot.left_sender->set_controller_factory(factory);
+  lot.right_sender->set_controller_factory(factory);
+
+  const auto long_id = lot.long_sender->start_flow(lot.long_receiver->id(),
+                                                   megabytes(10000.0));
+  const auto left_id =
+      lot.left_sender->start_flow(lot.left_receiver->id(), megabytes(10000.0));
+  const auto right_id =
+      lot.right_sender->start_flow(lot.right_receiver->id(), megabytes(10000.0));
+  net.sim().run_until(seconds(0.08));
+
+  const double long_rate = to_gbps(lot.long_sender->flow_rate(long_id));
+  const double left_rate = to_gbps(lot.left_sender->flow_rate(left_id));
+  const double right_rate = to_gbps(lot.right_sender->flow_rate(right_id));
+
+  EXPECT_EQ(net.total_drops(), 0u);
+  // Both trunks ~fully utilized.
+  EXPECT_NEAR(long_rate + left_rate, 10.0, 1.5);
+  EXPECT_NEAR(long_rate + right_rate, 10.0, 1.5);
+  // The long flow crosses two bottlenecks: it must not get more than the
+  // single-hop flows.
+  EXPECT_LT(long_rate, left_rate + 1.0);
+  EXPECT_LT(long_rate, right_rate + 1.0);
+  EXPECT_GT(long_rate, 0.5);  // but it is not starved either
+}
+
+TEST(ParkingLot, PatchedTimelyAlsoLossless) {
+  sim::Network net(9);
+  sim::ParkingLotConfig config;
+  sim::ParkingLot lot = make_parking_lot(net, config);
+  auto factory = proto::make_patched_timely_factory(proto::PatchedTimelyParams{});
+  lot.long_sender->set_controller_factory(factory);
+  lot.left_sender->set_controller_factory(factory);
+  lot.right_sender->set_controller_factory(factory);
+  lot.long_sender->start_flow(lot.long_receiver->id(), megabytes(10000.0));
+  lot.left_sender->start_flow(lot.left_receiver->id(), megabytes(10000.0));
+  lot.right_sender->start_flow(lot.right_receiver->id(), megabytes(10000.0));
+  net.sim().run_until(seconds(0.08));
+  EXPECT_EQ(net.total_drops(), 0u);
+  EXPECT_GT(lot.first_bottleneck().tx_bytes(), megabytes(20.0));
+}
+
+}  // namespace
+}  // namespace ecnd

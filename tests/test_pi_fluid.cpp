@@ -1,0 +1,71 @@
+#include "fluid/pi_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fluid/fluid_model.hpp"
+
+namespace ecnd::fluid {
+namespace {
+
+class DcqcnPiSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DcqcnPiSweep, QueuePinsToReferenceRegardlessOfN) {
+  // Figure 18: with PI marking at the switch the queue converges to the
+  // configured reference for any number of flows, and rates stay fair.
+  DcqcnFluidParams p;
+  p.num_flows = GetParam();
+  p.feedback_delay = 4e-6;
+  PiControllerParams pi;
+  DcqcnPiFluidModel m(p, pi);
+  const FluidRun run = simulate(m, 1.2, 5e-4);
+  const double qref_bytes = pi.qref_pkts * p.mtu_bytes;
+  EXPECT_NEAR(run.queue_bytes.mean_over(1.0, 1.2), qref_bytes, 0.15 * qref_bytes);
+  const double fair = 10.0 / p.num_flows;
+  EXPECT_NEAR(run.flow_rate_gbps[0].mean_over(1.0, 1.2), fair, 0.2 * fair);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, DcqcnPiSweep, ::testing::Values(2, 10, 32));
+
+TEST(DcqcnPi, StateLayoutAndInitialState) {
+  DcqcnFluidParams p;
+  p.num_flows = 2;
+  DcqcnPiFluidModel m(p, {});
+  EXPECT_EQ(m.dim(), 2u + 3u * 2u);
+  const auto x0 = m.initial_state();
+  EXPECT_DOUBLE_EQ(x0[m.marking_index()], 0.0);
+  EXPECT_DOUBLE_EQ(x0[m.rate_index(0)], p.capacity_pps());
+}
+
+TEST(TimelyPi, QueuePinnedButUnfair) {
+  // Figure 19 / Theorem 6: the end-host PI controls delay to the reference
+  // but cannot restore fairness — unequal starts persist.
+  TimelyFluidParams p = patched_timely_defaults();
+  p.num_flows = 2;
+  TimelyPiParams pi;
+  PatchedTimelyPiFluidModel m(p, pi);
+  auto x0 = m.initial_state();
+  x0[m.rate_index(0)] = 0.7 * p.capacity_pps();
+  x0[m.rate_index(1)] = 0.3 * p.capacity_pps();
+  const FluidRun run = simulate(m, 1.0, 5e-4, x0);
+
+  const double qref_bytes = pi.qref_pkts * p.mtu_bytes;
+  EXPECT_NEAR(run.queue_bytes.mean_over(0.8, 1.0), qref_bytes, 0.3 * qref_bytes);
+
+  const double r0 = run.flow_rate_gbps[0].mean_over(0.8, 1.0);
+  const double r1 = run.flow_rate_gbps[1].mean_over(0.8, 1.0);
+  EXPECT_GT(std::abs(r0 - r1), 1.5) << "PI-TIMELY should NOT be fair";
+  EXPECT_NEAR(r0 + r1, 10.0, 1.5);
+}
+
+TEST(TimelyPi, StateLayout) {
+  TimelyFluidParams p = patched_timely_defaults();
+  p.num_flows = 3;
+  PatchedTimelyPiFluidModel m(p, {});
+  EXPECT_EQ(m.dim(), 1u + 3u * 3u);
+  const auto x0 = m.initial_state();
+  EXPECT_DOUBLE_EQ(x0[m.pi_state_index(0)], 0.0);
+  EXPECT_DOUBLE_EQ(x0[m.gradient_index(2)], 0.0);
+}
+
+}  // namespace
+}  // namespace ecnd::fluid

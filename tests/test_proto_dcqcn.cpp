@@ -1,0 +1,197 @@
+#include "proto/dcqcn/rp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/dcqcn_analysis.hpp"
+#include "exp/scenarios.hpp"
+#include "proto/factories.hpp"
+#include "sim/network.hpp"
+
+namespace ecnd::proto {
+namespace {
+
+TEST(DcqcnRp, StartsAtLineRate) {
+  sim::Simulator sim;
+  DcqcnRp rp(sim, {});
+  EXPECT_DOUBLE_EQ(rp.rate(), gbps(10.0));
+  EXPECT_DOUBLE_EQ(rp.target_rate(), gbps(10.0));
+  EXPECT_DOUBLE_EQ(rp.alpha(), 1.0);
+}
+
+TEST(DcqcnRp, CnpCutsRatePerEquation1) {
+  sim::Simulator sim;
+  DcqcnRpParams params;
+  DcqcnRp rp(sim, params);
+  rp.on_cnp(0);
+  // alpha was 1: Rc *= 1 - 1/2; Rt remembers old rate; alpha moves toward 1.
+  EXPECT_DOUBLE_EQ(rp.rate(), gbps(5.0));
+  EXPECT_DOUBLE_EQ(rp.target_rate(), gbps(10.0));
+  EXPECT_DOUBLE_EQ(rp.alpha(), (1.0 - params.g) * 1.0 + params.g);
+  rp.on_cnp(0);
+  EXPECT_NEAR(rp.rate(), gbps(5.0) * (1.0 - rp.alpha() / 2.0), gbps(0.1));
+}
+
+TEST(DcqcnRp, AlphaDecaysWithoutFeedback) {
+  sim::Simulator sim;
+  DcqcnRpParams params;
+  DcqcnRp rp(sim, params);
+  rp.on_cnp(0);
+  const double alpha0 = rp.alpha();
+  sim.run_until(params.alpha_timer * 10 + 1);
+  EXPECT_LT(rp.alpha(), alpha0);
+  EXPECT_NEAR(rp.alpha(), alpha0 * std::pow(1.0 - params.g, 10.0), 0.01);
+}
+
+TEST(DcqcnRp, TimerDrivenFastRecoveryHalvesTowardTarget) {
+  sim::Simulator sim;
+  DcqcnRpParams params;
+  DcqcnRp rp(sim, params);
+  rp.on_cnp(0);  // Rc = 5G, Rt = 10G
+  sim.run_until(params.increase_timer + 1);  // one timer event: fast recovery
+  EXPECT_DOUBLE_EQ(rp.rate(), gbps(7.5));
+  EXPECT_DOUBLE_EQ(rp.target_rate(), gbps(10.0));  // unchanged in FR
+  sim.run_until(params.increase_timer * 2 + 1);
+  EXPECT_DOUBLE_EQ(rp.rate(), gbps(8.75));
+}
+
+TEST(DcqcnRp, AdditiveIncreaseAfterFStages) {
+  sim::Simulator sim;
+  DcqcnRpParams params;
+  DcqcnRp rp(sim, params);
+  // Two CNPs leave Rt = 5 Gb/s (below line rate, so additive increase has
+  // headroom to show up in the target).
+  rp.on_cnp(0);
+  rp.on_cnp(0);
+  EXPECT_DOUBLE_EQ(rp.target_rate(), gbps(5.0));
+  // F=5 fast-recovery timer events, the 6th is additive (+R_AI on target).
+  sim.run_until(params.increase_timer * 6 + 1);
+  EXPECT_EQ(rp.timer_stage(), 6);
+  EXPECT_NEAR(rp.target_rate(), gbps(5.0) + mbps(40.0), 1.0);
+}
+
+TEST(DcqcnRp, ByteCounterStagesAdvanceOnSends) {
+  sim::Simulator sim;
+  DcqcnRpParams params;
+  params.byte_counter = kilobytes(100.0);
+  DcqcnRp rp(sim, params);
+  rp.on_cnp(0);
+  for (int i = 0; i < 100; ++i) rp.on_bytes_sent(1000, 0);
+  EXPECT_EQ(rp.byte_stage(), 1);
+  for (int i = 0; i < 500; ++i) rp.on_bytes_sent(1000, 0);
+  EXPECT_EQ(rp.byte_stage(), 6);
+}
+
+TEST(DcqcnRp, CnpResetsIncreaseCycle) {
+  sim::Simulator sim;
+  DcqcnRpParams params;
+  DcqcnRp rp(sim, params);
+  rp.on_cnp(0);
+  sim.run_until(params.increase_timer * 3 + 1);
+  EXPECT_EQ(rp.timer_stage(), 3);
+  rp.on_cnp(sim.now());
+  EXPECT_EQ(rp.timer_stage(), 0);
+  EXPECT_EQ(rp.byte_stage(), 0);
+}
+
+TEST(DcqcnRp, RateNeverBelowMinimum) {
+  sim::Simulator sim;
+  DcqcnRpParams params;
+  DcqcnRp rp(sim, params);
+  for (int i = 0; i < 200; ++i) rp.on_cnp(0);
+  EXPECT_GE(rp.rate(), params.min_rate);
+}
+
+TEST(DcqcnRp, HyperIncreaseWhenBothCountersPastF) {
+  sim::Simulator sim;
+  DcqcnRpParams params;
+  params.byte_counter = kilobytes(10.0);
+  DcqcnRp rp(sim, params);
+  rp.on_cnp(0);
+  const double before = rp.target_rate();
+  // Push byte stage past F, then trigger one more byte event: still additive
+  // (timer stage is 0). Then advance timers past F: hyper.
+  for (int i = 0; i < 70; ++i) rp.on_bytes_sent(1000, 0);
+  EXPECT_EQ(rp.byte_stage(), 7);
+  EXPECT_GT(rp.target_rate(), before - gbps(10.0));  // sanity
+  sim.run_until(params.increase_timer * 7 + 1);
+  EXPECT_GT(rp.timer_stage(), params.fast_recovery_steps);
+  const double target_before_hyper = rp.target_rate();
+  rp.on_bytes_sent(static_cast<Bytes>(params.byte_counter), sim.now());
+  EXPECT_NEAR(rp.target_rate(),
+              std::min(target_before_hyper + params.rate_hai, params.line_rate),
+              1.0);
+}
+
+// ---- Integration on the packet simulator ----
+
+TEST(DcqcnIntegration, TwoFlowsConvergeNearFluidFixedPoint) {
+  exp::LongFlowConfig config;
+  config.protocol = exp::Protocol::kDcqcn;
+  config.flows = 2;
+  config.duration_s = 0.05;
+  const auto result = exp::run_long_flows(config);
+
+  fluid::DcqcnFluidParams fluid_params;
+  fluid_params.num_flows = 2;
+  const auto fp = control::solve_dcqcn_fixed_point(fluid_params);
+  EXPECT_NEAR(result.queue_bytes.mean_over(0.03, 0.05), fp.q_star_bytes(fluid_params),
+              0.3 * fp.q_star_bytes(fluid_params));
+  EXPECT_NEAR(result.rate_gbps[0].mean_over(0.03, 0.05), 5.0, 1.0);
+  EXPECT_NEAR(result.rate_gbps[1].mean_over(0.03, 0.05), 5.0, 1.0);
+  EXPECT_GT(result.utilization, 0.9);
+  EXPECT_EQ(result.drops, 0u);
+  EXPECT_GT(result.cnps, 0u);
+}
+
+TEST(DcqcnIntegration, UnequalStartsEqualize) {
+  // Theorem 2 at packet level: stagger the second flow by 10 ms; both end fair.
+  exp::LongFlowConfig config;
+  config.protocol = exp::Protocol::kDcqcn;
+  config.flows = 2;
+  config.duration_s = 0.08;
+  config.start_times_s = {0.0, 0.01};
+  const auto result = exp::run_long_flows(config);
+  EXPECT_NEAR(result.rate_gbps[0].mean_over(0.06, 0.08), 5.0, 1.2);
+  EXPECT_NEAR(result.rate_gbps[1].mean_over(0.06, 0.08), 5.0, 1.2);
+}
+
+TEST(DcqcnIntegration, EgressMarkingBeatsIngressMarkingAtHighDelay) {
+  // Figure 17: with an 85us control loop, marking on ingress (enqueue)
+  // destabilizes the queue relative to egress (dequeue) marking.
+  auto run_with = [](sim::MarkPosition position) {
+    exp::LongFlowConfig config;
+    config.protocol = exp::Protocol::kDcqcn;
+    config.flows = 2;
+    config.duration_s = 0.3;
+    config.receiver_link_delay = microseconds(42.0);
+    config.mark_position = position;
+    return exp::run_long_flows(config);
+  };
+  const auto egress = run_with(sim::MarkPosition::kDequeue);
+  const auto ingress = run_with(sim::MarkPosition::kEnqueue);
+  // Ingress marking ages the signal by the queueing delay: the queue swings
+  // harder relative to its mean and the link loses utilization.
+  auto cov = [](const auto& result) {
+    return result.queue_bytes.stddev_over(0.1, 0.3) /
+           std::max(result.queue_bytes.mean_over(0.1, 0.3), 1.0);
+  };
+  EXPECT_GT(cov(ingress), 1.2 * cov(egress));
+  EXPECT_LT(ingress.utilization, egress.utilization - 0.03);
+}
+
+TEST(DcqcnIntegration, ManyFlowsShareFairly) {
+  exp::LongFlowConfig config;
+  config.protocol = exp::Protocol::kDcqcn;
+  config.flows = 8;
+  config.duration_s = 0.06;
+  const auto result = exp::run_long_flows(config);
+  std::vector<double> rates;
+  for (const auto& series : result.rate_gbps) {
+    rates.push_back(series.mean_over(0.04, 0.06));
+  }
+  EXPECT_GT(jain_fairness(rates), 0.9);
+  EXPECT_GT(result.utilization, 0.85);
+}
+
+}  // namespace
+}  // namespace ecnd::proto

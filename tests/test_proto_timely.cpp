@@ -1,0 +1,181 @@
+#include "proto/timely/timely.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/scenarios.hpp"
+#include "proto/factories.hpp"
+#include "sim/network.hpp"
+
+namespace ecnd::proto {
+namespace {
+
+TEST(Timely, AdditiveIncreaseBelowTlow) {
+  TimelyParams p;
+  TimelyController ctl(p, gbps(1.0));
+  ctl.on_rtt_sample(microseconds(10.0), 0);
+  EXPECT_DOUBLE_EQ(ctl.rate(), gbps(1.0) + mbps(10.0));
+}
+
+TEST(Timely, MultiplicativeDecreaseAboveThigh) {
+  TimelyParams p;
+  TimelyController ctl(p, gbps(8.0));
+  // newRTT = 1000us: rate *= 1 - beta*(1 - 500/1000) = 1 - 0.4 = 0.6.
+  ctl.on_rtt_sample(microseconds(1000.0), 0);
+  EXPECT_NEAR(ctl.rate(), gbps(8.0) * 0.6, 1.0);
+}
+
+TEST(Timely, GradientZoneIncreaseOnNonPositiveGradient) {
+  TimelyParams p;
+  TimelyController ctl(p, gbps(4.0));
+  // Prime prev RTT, then feed a falling RTT inside [T_low, T_high].
+  ctl.on_rtt_sample(microseconds(200.0), 0);
+  const double before = ctl.rate();
+  ctl.on_rtt_sample(microseconds(150.0), 0);  // negative gradient
+  EXPECT_DOUBLE_EQ(ctl.rate(), before + mbps(10.0));
+  EXPECT_LT(ctl.rtt_gradient(), 0.0);
+}
+
+TEST(Timely, GradientZoneDecreaseScalesWithGradient) {
+  TimelyParams p;
+  TimelyController ctl(p, gbps(4.0));
+  // Priming sample: gradient still 0 (<= 0), so it *increases* by delta.
+  ctl.on_rtt_sample(microseconds(100.0), 0);
+  const double primed = gbps(4.0) + mbps(10.0);
+  EXPECT_DOUBLE_EQ(ctl.rate(), primed);
+  ctl.on_rtt_sample(microseconds(110.0), 0);  // rising RTT
+  // gradient = ewma(10us)/20us = 0.875*10/20 = 0.4375.
+  EXPECT_NEAR(ctl.rtt_gradient(), 0.4375, 1e-9);
+  // rate *= 1 - 0.8 * 0.4375 = 0.65.
+  EXPECT_NEAR(ctl.rate(), primed * (1.0 - 0.8 * 0.4375), 1e3);
+}
+
+TEST(Timely, EwmaSmoothsGradient) {
+  TimelyParams p;
+  TimelyController ctl(p, gbps(4.0));
+  ctl.on_rtt_sample(microseconds(100.0), 0);
+  ctl.on_rtt_sample(microseconds(120.0), 0);
+  const double g1 = ctl.rtt_gradient();
+  ctl.on_rtt_sample(microseconds(120.0), 0);  // zero new diff
+  const double g2 = ctl.rtt_gradient();
+  EXPECT_LT(g2, g1);      // decayed
+  EXPECT_GT(g2, 0.0);     // but not reset
+  EXPECT_NEAR(g2, g1 * (1.0 - p.alpha_ewma), 1e-9);
+}
+
+TEST(Timely, RateClampedToBounds) {
+  TimelyParams p;
+  TimelyController ctl(p, gbps(10.0));
+  for (int i = 0; i < 100; ++i) ctl.on_rtt_sample(microseconds(10.0), 0);
+  EXPECT_LE(ctl.rate(), p.line_rate);
+  for (int i = 0; i < 200; ++i) ctl.on_rtt_sample(microseconds(2000.0), 0);
+  EXPECT_GE(ctl.rate(), p.min_rate);
+}
+
+TEST(Timely, HaiKicksInAfterStreak) {
+  TimelyParams p;
+  p.use_hai = true;
+  TimelyController ctl(p, gbps(1.0));
+  for (int i = 0; i < 4; ++i) ctl.on_rtt_sample(microseconds(10.0), 0);
+  const double before = ctl.rate();
+  ctl.on_rtt_sample(microseconds(10.0), 0);  // 5th consecutive low sample
+  EXPECT_DOUBLE_EQ(ctl.rate(), before + 5.0 * mbps(10.0));
+}
+
+TEST(PatchedTimely, Algorithm2UpdateMath) {
+  PatchedTimelyParams p;  // beta = 0.008, rtt_ref = 50us
+  PatchedTimelyController ctl(p, gbps(4.0));
+  // Both samples sit at RTT = 100us: gradient stays 0, w(0) = 1/2,
+  // error = (100 - 50)/50 = 1, so each update applies Algorithm 2 line 12:
+  //   rate <- delta * (1 - w) + rate * (1 - beta * w * error).
+  double expected = gbps(4.0);
+  for (int i = 0; i < 2; ++i) {
+    ctl.on_rtt_sample(microseconds(100.0), 0);
+    expected = mbps(10.0) * 0.5 + expected * (1.0 - 0.008 * 0.5 * 1.0);
+    EXPECT_NEAR(ctl.rate(), expected, 1e3);
+  }
+}
+
+TEST(PatchedTimely, WeightMatchesFluidDefinition) {
+  for (double g = -0.5; g <= 0.5; g += 0.05) {
+    EXPECT_DOUBLE_EQ(PatchedTimelyController::weight(g),
+                     g <= -0.25 ? 0.0 : (g >= 0.25 ? 1.0 : 2.0 * g + 0.5));
+  }
+}
+
+TEST(TimelyFactory, NewFlowStartsAtCapacityOverNPlusOne) {
+  TimelyParams p;
+  auto factory = make_timely_factory(p);
+  auto first = factory(0);
+  EXPECT_DOUBLE_EQ(first->rate(), gbps(10.0));
+  auto third = factory(2);
+  EXPECT_NEAR(third->rate(), gbps(10.0) / 3.0, 1.0);
+}
+
+TEST(TimelyFactory, OverridePinsInitialRate) {
+  TimelyParams p;
+  auto factory = make_timely_factory(p, gbps(3.0));
+  EXPECT_DOUBLE_EQ(factory(5)->rate(), gbps(3.0));
+}
+
+// ---- Integration on the packet simulator ----
+
+TEST(TimelyIntegration, TwoEqualFlowsShareFairly) {
+  exp::LongFlowConfig config;
+  config.protocol = exp::Protocol::kTimely;
+  config.flows = 2;
+  config.duration_s = 0.1;
+  config.initial_rate_fraction = {0.5, 0.5};
+  const auto result = exp::run_long_flows(config);
+  const double r0 = result.rate_gbps[0].mean_over(0.05, 0.1);
+  const double r1 = result.rate_gbps[1].mean_over(0.05, 0.1);
+  EXPECT_GT(jain_fairness({r0, r1}), 0.95);
+  EXPECT_GT(result.utilization, 0.85);
+}
+
+TEST(TimelyIntegration, UnequalStartsStayUnfair) {
+  // Figure 9(c) at packet level.
+  exp::LongFlowConfig config;
+  config.protocol = exp::Protocol::kTimely;
+  config.flows = 2;
+  config.duration_s = 0.2;
+  config.initial_rate_fraction = {0.7, 0.3};
+  const auto result = exp::run_long_flows(config);
+  const double r0 = result.rate_gbps[0].mean_over(0.15, 0.2);
+  const double r1 = result.rate_gbps[1].mean_over(0.15, 0.2);
+  EXPECT_GT(std::abs(r0 - r1), 2.0);
+}
+
+TEST(TimelyIntegration, PatchedConvergesFromUnequalStarts) {
+  // Figure 12(a) at packet level.
+  exp::LongFlowConfig config;
+  config.protocol = exp::Protocol::kPatchedTimely;
+  config.flows = 2;
+  config.duration_s = 0.2;
+  config.initial_rate_fraction = {0.7, 0.3};
+  const auto result = exp::run_long_flows(config);
+  EXPECT_NEAR(result.rate_gbps[0].mean_over(0.15, 0.2), 5.0, 0.8);
+  EXPECT_NEAR(result.rate_gbps[1].mean_over(0.15, 0.2), 5.0, 0.8);
+  EXPECT_EQ(result.drops, 0u);
+}
+
+TEST(TimelyIntegration, BurstPacingCausesLargerQueueSwings) {
+  // Figure 10: 64KB chunks at line rate produce bigger queue excursions than
+  // per-packet pacing at the same offered behavior.
+  auto run_with = [](bool burst, Bytes segment) {
+    exp::LongFlowConfig config;
+    config.protocol = exp::Protocol::kTimely;
+    config.flows = 2;
+    config.duration_s = 0.1;
+    config.timely.burst_pacing = burst;
+    config.timely.segment = segment;
+    config.initial_rate_fraction = {0.5, 0.5};
+    return exp::run_long_flows(config);
+  };
+  const auto paced = run_with(false, kilobytes(16.0));
+  const auto burst64 = run_with(true, kilobytes(64.0));
+  EXPECT_GT(burst64.queue_bytes.max_over(0.0, 0.1),
+            paced.queue_bytes.max_over(0.0, 0.1));
+}
+
+}  // namespace
+}  // namespace ecnd::proto

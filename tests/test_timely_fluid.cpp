@@ -1,0 +1,196 @@
+#include "fluid/timely_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/timely_analysis.hpp"
+#include "fluid/fluid_model.hpp"
+
+namespace ecnd::fluid {
+namespace {
+
+TEST(TimelyFluid, InitialStateSplitsCapacity) {
+  TimelyFluidParams p;
+  p.num_flows = 4;
+  TimelyFluidModel m(p);
+  const auto x0 = m.initial_state();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(x0[m.rate_index(i)], p.capacity_pps() / 4.0);
+    EXPECT_DOUBLE_EQ(x0[m.gradient_index(i)], 0.0);
+  }
+}
+
+TEST(TimelyFluid, UpdateIntervalEquation23) {
+  TimelyFluidParams p;  // Seg=16KB, DminRTT=20us, C=1.25e6 pps
+  TimelyFluidModel m(p);
+  // At high rate, Seg/R < DminRTT -> clamped to DminRTT.
+  EXPECT_DOUBLE_EQ(m.update_interval(1.25e6), 20e-6);
+  // At 100 Mb/s (12500 pps), Seg/R = 16/12500 = 1.28 ms.
+  EXPECT_NEAR(m.update_interval(12500.0), 1.28e-3, 1e-9);
+}
+
+TEST(TimelyFluid, FeedbackDelayEquation24) {
+  TimelyFluidParams p;
+  TimelyFluidModel m(p);
+  // Empty queue: MTU/C + Dprop.
+  EXPECT_NEAR(m.feedback_delay(0.0), 0.8e-6 + p.d_prop, 1e-12);
+  // 125 packets = 100us of queueing at 10G.
+  EXPECT_NEAR(m.feedback_delay(125.0), 100e-6 + 0.8e-6 + p.d_prop, 1e-12);
+}
+
+TEST(TimelyFluid, OscillatesInLimitCycles) {
+  // §4.2: TIMELY has no fixed point — the queue keeps oscillating.
+  TimelyFluidParams p;
+  p.num_flows = 2;
+  TimelyFluidModel m(p);
+  const FluidRun run = simulate(m, 0.2, 1e-4);
+  EXPECT_GT(run.queue_bytes.stddev_over(0.1, 0.2), 3e3);
+}
+
+TEST(TimelyFluid, UnequalStartsStayUnfair) {
+  // Figure 9(c): 7 Gb/s vs 3 Gb/s starts never equalize.
+  TimelyFluidParams p;
+  p.num_flows = 2;
+  TimelyFluidModel m(p);
+  auto x0 = m.initial_state();
+  x0[m.rate_index(0)] = 0.7 * p.capacity_pps();
+  x0[m.rate_index(1)] = 0.3 * p.capacity_pps();
+  const FluidRun run = simulate(m, 0.3, 1e-4, x0);
+  const double r0 = run.flow_rate_gbps[0].mean_over(0.2, 0.3);
+  const double r1 = run.flow_rate_gbps[1].mean_over(0.2, 0.3);
+  EXPECT_GT(r0 - r1, 2.0) << "TIMELY should preserve the initial imbalance";
+  EXPECT_NEAR(r0 + r1, 10.0, 1.5);  // link still roughly utilized
+}
+
+TEST(TimelyFluid, StrictGradientVariantBehavesTheSame) {
+  // Equation 28 changes <= to < — indistinguishable in practice (§4.2).
+  for (bool strict : {false, true}) {
+    TimelyFluidParams p;
+    p.num_flows = 2;
+    p.strict_gradient_zero = strict;
+    TimelyFluidModel m(p);
+    auto x0 = m.initial_state();
+    x0[m.rate_index(0)] = 0.7 * p.capacity_pps();
+    x0[m.rate_index(1)] = 0.3 * p.capacity_pps();
+    const FluidRun run = simulate(m, 0.1, 1e-4, x0);
+    EXPECT_GT(run.flow_rate_gbps[0].mean_over(0.05, 0.1) -
+                  run.flow_rate_gbps[1].mean_over(0.05, 0.1),
+              1.5);
+  }
+}
+
+TEST(TimelyTheorem3, OriginalHasNoFixedPoint) {
+  // At any candidate steady point the rate derivative is delta/tau* != 0.
+  TimelyFluidParams p;
+  p.num_flows = 4;
+  const double q = 0.5 * (p.qlow_pkts() + p.qhigh_pkts());
+  std::vector<double> rates(4, p.capacity_pps() / 4.0);
+  EXPECT_GT(control::timely_rate_derivative_at_candidate(p, q, rates), 0.0);
+}
+
+TEST(TimelyTheorem4, StrictVariantAcceptsArbitrarySplits) {
+  // Equation 28: ANY rate split with sum = C is a fixed point.
+  TimelyFluidParams p;
+  p.num_flows = 4;
+  p.strict_gradient_zero = true;
+  const double q = 0.5 * (p.qlow_pkts() + p.qhigh_pkts());
+  const double c = p.capacity_pps();
+  for (const auto& rates :
+       {std::vector<double>{0.7 * c, 0.1 * c, 0.1 * c, 0.1 * c},
+        std::vector<double>{0.25 * c, 0.25 * c, 0.25 * c, 0.25 * c},
+        std::vector<double>{0.97 * c, 0.01 * c, 0.01 * c, 0.01 * c}}) {
+    EXPECT_DOUBLE_EQ(control::timely_rate_derivative_at_candidate(p, q, rates),
+                     0.0);
+  }
+}
+
+TEST(TimelyTheorem4, OutsideThresholdsNotFixed) {
+  TimelyFluidParams p;
+  p.strict_gradient_zero = true;
+  std::vector<double> rates(2, p.capacity_pps() / 2.0);
+  EXPECT_GT(control::timely_rate_derivative_at_candidate(
+                p, 0.5 * p.qlow_pkts(), rates),
+            0.0);
+  EXPECT_GT(control::timely_rate_derivative_at_candidate(
+                p, 2.0 * p.qhigh_pkts(), rates),
+            0.0);
+}
+
+TEST(PatchedTimely, WeightFunctionEquation30) {
+  EXPECT_DOUBLE_EQ(PatchedTimelyFluidModel::weight(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(PatchedTimelyFluidModel::weight(-0.25), 0.0);
+  EXPECT_DOUBLE_EQ(PatchedTimelyFluidModel::weight(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(PatchedTimelyFluidModel::weight(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(PatchedTimelyFluidModel::weight(3.0), 1.0);
+  // Monotone nondecreasing.
+  double prev = -1.0;
+  for (double g = -0.5; g <= 0.5; g += 0.01) {
+    const double w = PatchedTimelyFluidModel::weight(g);
+    EXPECT_GE(w, prev);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+    prev = w;
+  }
+}
+
+class PatchedTimelyFixedPointSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatchedTimelyFixedPointSweep, ConvergesToEquation31Queue) {
+  TimelyFluidParams p = patched_timely_defaults();
+  p.num_flows = GetParam();
+  PatchedTimelyFluidModel m(p);
+  const double q_star_bytes = m.fixed_point_queue_pkts() * p.mtu_bytes;
+  const FluidRun run = simulate(m, 0.3, 2e-4);
+  EXPECT_NEAR(run.queue_bytes.mean_over(0.25, 0.3), q_star_bytes,
+              0.1 * q_star_bytes);
+  // Fair share at the fixed point (Theorem 5).
+  for (int i = 0; i < p.num_flows; ++i) {
+    EXPECT_NEAR(run.flow_rate_gbps[static_cast<std::size_t>(i)].mean_over(0.25, 0.3),
+                10.0 / p.num_flows, 0.15 * 10.0 / p.num_flows + 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, PatchedTimelyFixedPointSweep,
+                         ::testing::Values(2, 4, 8));
+
+TEST(PatchedTimely, ConvergesFromUnequalStarts) {
+  // Figure 12(a): 7/3 Gb/s starts converge to 5/5.
+  TimelyFluidParams p = patched_timely_defaults();
+  p.num_flows = 2;
+  PatchedTimelyFluidModel m(p);
+  auto x0 = m.initial_state();
+  x0[m.rate_index(0)] = 0.7 * p.capacity_pps();
+  x0[m.rate_index(1)] = 0.3 * p.capacity_pps();
+  const FluidRun run = simulate(m, 0.3, 2e-4, x0);
+  EXPECT_NEAR(run.flow_rate_gbps[0].mean_over(0.25, 0.3), 5.0, 0.25);
+  EXPECT_NEAR(run.flow_rate_gbps[1].mean_over(0.25, 0.3), 5.0, 0.25);
+}
+
+TEST(PatchedTimely, Equation31MatchesAnalysisHelper) {
+  TimelyFluidParams p = patched_timely_defaults();
+  p.num_flows = 6;
+  PatchedTimelyFluidModel m(p);
+  const auto fp = control::patched_timely_fixed_point(p);
+  EXPECT_DOUBLE_EQ(fp.q_star_pkts, m.fixed_point_queue_pkts());
+  EXPECT_DOUBLE_EQ(fp.rate_pps, p.capacity_pps() / 6.0);
+}
+
+TEST(PatchedTimely, JitterDestabilizes) {
+  // Figure 20 (TIMELY side): reverse-path jitter is delay AND noise, so the
+  // same jitter that leaves DCQCN untouched disrupts patched TIMELY: rates
+  // oscillate and/or the link detunes from its fixed point.
+  TimelyFluidParams p = patched_timely_defaults();
+  p.num_flows = 2;
+  PatchedTimelyFluidModel clean_model(p);
+  p.feedback_jitter = JitterProcess(100e-6, 20e-6, 7);
+  PatchedTimelyFluidModel jitter_model(p);
+
+  const FluidRun clean = simulate(clean_model, 0.2, 2e-4);
+  const FluidRun jittered = simulate(jitter_model, 0.2, 2e-4);
+
+  const double clean_rate_std = clean.flow_rate_gbps[0].stddev_over(0.1, 0.2);
+  const double jitter_rate_std = jittered.flow_rate_gbps[0].stddev_over(0.1, 0.2);
+  EXPECT_GT(jitter_rate_std, 5.0 * clean_rate_std + 0.01);
+}
+
+}  // namespace
+}  // namespace ecnd::fluid

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "exp/scenarios.hpp"
+#include "proto/factories.hpp"
+#include "workload/fct_stats.hpp"
+#include "workload/flow_size.hpp"
+#include "workload/traffic.hpp"
+
+namespace ecnd::workload {
+namespace {
+
+TEST(FlowSize, WebSearchShape) {
+  const auto dist = FlowSizeDistribution::web_search();
+  // Mean in the low-megabyte range (heavy tail to 30MB).
+  EXPECT_GT(dist.mean_bytes(), 1e6);
+  EXPECT_LT(dist.mean_bytes(), 3e6);
+  EXPECT_DOUBLE_EQ(dist.points().back().cdf, 1.0);
+}
+
+TEST(FlowSize, SamplesWithinSupport) {
+  const auto dist = FlowSizeDistribution::web_search();
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const Bytes s = dist.sample(rng);
+    EXPECT_GE(s, kilobytes(1.0));
+    EXPECT_LE(s, kilobytes(30000.0));
+  }
+}
+
+TEST(FlowSize, EmpiricalMeanMatchesAnalytic) {
+  const auto dist = FlowSizeDistribution::web_search();
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(dist.sample(rng));
+  EXPECT_NEAR(sum / n, dist.mean_bytes(), 0.03 * dist.mean_bytes());
+}
+
+TEST(FlowSize, SmallFlowFractionMatchesCdf) {
+  // ~53% of web-search flows are under 80KB; check within a few percent.
+  const auto dist = FlowSizeDistribution::web_search();
+  Rng rng(7);
+  int small = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) small += dist.sample(rng) <= kilobytes(80.0);
+  EXPECT_NEAR(static_cast<double>(small) / n, 0.53, 0.02);
+}
+
+TEST(FlowSize, DataMiningHeavierTail) {
+  const auto ws = FlowSizeDistribution::web_search();
+  const auto dm = FlowSizeDistribution::data_mining();
+  EXPECT_GT(dm.mean_bytes(), ws.mean_bytes());
+}
+
+TEST(FlowSize, DeterministicGivenSeed) {
+  const auto dist = FlowSizeDistribution::web_search();
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(a), dist.sample(b));
+}
+
+TEST(FctStats, FiltersAndSummarizes) {
+  std::vector<sim::FlowRecord> records;
+  for (int i = 1; i <= 10; ++i) {
+    sim::FlowRecord r;
+    r.size = i <= 5 ? kilobytes(50.0) : kilobytes(500.0);
+    r.start = 0;
+    r.end = microseconds(static_cast<double>(i * 100));
+    records.push_back(r);
+  }
+  const auto small = fcts_us(records, kilobytes(100.0));
+  EXPECT_EQ(small.size(), 5u);
+  const auto all = fcts_us(records, 0);
+  EXPECT_EQ(all.size(), 10u);
+  const auto summary = summarize(small);
+  EXPECT_EQ(summary.count, 5u);
+  EXPECT_DOUBLE_EQ(summary.median_us, 300.0);
+  EXPECT_DOUBLE_EQ(summary.mean_us, 300.0);
+}
+
+TEST(FctStats, EmptyPopulation) {
+  const auto summary = summarize({});
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_EQ(summary.median_us, 0.0);
+}
+
+TEST(PoissonTraffic, GeneratesAndCompletesAllFlows) {
+  sim::Network net(11);
+  sim::DumbbellConfig dumbbell_config;
+  dumbbell_config.pairs = 4;
+  sim::Dumbbell dumbbell = make_dumbbell(net, dumbbell_config);
+  for (sim::Host* sender : dumbbell.senders) {
+    sender->set_controller_factory(
+        proto::make_dcqcn_factory(net.sim(), proto::DcqcnRpParams{}));
+  }
+  TrafficConfig config;
+  config.load = 0.5;
+  config.num_flows = 100;
+  config.seed = 11;
+  PoissonTraffic traffic(dumbbell, FlowSizeDistribution::web_search(), config);
+  traffic.start();
+  EXPECT_TRUE(traffic.run_to_completion(seconds(60.0)));
+  EXPECT_EQ(traffic.generated(), 100);
+  EXPECT_EQ(traffic.completed().size(), 100u);
+  // Every record routed sender -> receiver side.
+  for (const auto& record : traffic.completed()) {
+    EXPECT_LT(record.src_host, 4);
+    EXPECT_GE(record.dst_host, 4);
+    EXPECT_GT(record.fct(), 0);
+    EXPECT_GT(record.size, 0);
+  }
+}
+
+TEST(PoissonTraffic, OfferedLoadScalesWithFactor) {
+  TrafficConfig c;
+  c.load = 0.25;
+  sim::Network net(1);
+  sim::DumbbellConfig dc;
+  sim::Dumbbell d = make_dumbbell(net, dc);
+  PoissonTraffic traffic(d, FlowSizeDistribution::web_search(), c);
+  EXPECT_DOUBLE_EQ(traffic.offered_load_bps(), 0.25 * gbps(8.0));
+}
+
+TEST(FctExperiment, CompletesDropFreeAndOrdersProtocolsAtHighLoad) {
+  // Scaled-down Figure 14 check: DCQCN's p90 small-flow FCT beats TIMELY's.
+  auto dcqcn_config = exp::make_fct_config(exp::Protocol::kDcqcn, 0.8);
+  dcqcn_config.num_flows = 800;
+  dcqcn_config.seed = 3;
+  const auto dcqcn = exp::run_fct_experiment(dcqcn_config);
+  EXPECT_TRUE(dcqcn.all_completed);
+  EXPECT_EQ(dcqcn.drops, 0u);
+  EXPECT_GT(dcqcn.small.count, 100u);
+
+  auto timely_config = exp::make_fct_config(exp::Protocol::kTimely, 0.8);
+  timely_config.num_flows = 800;
+  timely_config.seed = 3;
+  const auto timely = exp::run_fct_experiment(timely_config);
+  EXPECT_TRUE(timely.all_completed);
+  EXPECT_EQ(timely.drops, 0u);
+
+  EXPECT_GT(timely.small.p90_us, dcqcn.small.p90_us);
+}
+
+}  // namespace
+}  // namespace ecnd::workload
