@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_param_sweep.dir/bench_abl_param_sweep.cpp.o"
+  "CMakeFiles/bench_abl_param_sweep.dir/bench_abl_param_sweep.cpp.o.d"
+  "bench_abl_param_sweep"
+  "bench_abl_param_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_param_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

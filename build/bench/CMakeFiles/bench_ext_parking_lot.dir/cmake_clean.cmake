@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_parking_lot.dir/bench_ext_parking_lot.cpp.o"
+  "CMakeFiles/bench_ext_parking_lot.dir/bench_ext_parking_lot.cpp.o.d"
+  "bench_ext_parking_lot"
+  "bench_ext_parking_lot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_parking_lot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

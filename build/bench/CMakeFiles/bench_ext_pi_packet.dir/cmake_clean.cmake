@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pi_packet.dir/bench_ext_pi_packet.cpp.o"
+  "CMakeFiles/bench_ext_pi_packet.dir/bench_ext_pi_packet.cpp.o.d"
+  "bench_ext_pi_packet"
+  "bench_ext_pi_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pi_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

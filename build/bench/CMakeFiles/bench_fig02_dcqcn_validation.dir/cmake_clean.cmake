@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_dcqcn_validation.dir/bench_fig02_dcqcn_validation.cpp.o"
+  "CMakeFiles/bench_fig02_dcqcn_validation.dir/bench_fig02_dcqcn_validation.cpp.o.d"
+  "bench_fig02_dcqcn_validation"
+  "bench_fig02_dcqcn_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_dcqcn_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_dcqcn_validation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_dcqcn_delay_stability.dir/bench_fig04_dcqcn_delay_stability.cpp.o"
+  "CMakeFiles/bench_fig04_dcqcn_delay_stability.dir/bench_fig04_dcqcn_delay_stability.cpp.o.d"
+  "bench_fig04_dcqcn_delay_stability"
+  "bench_fig04_dcqcn_delay_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_dcqcn_delay_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_dcqcn_packet_instability.dir/bench_fig05_dcqcn_packet_instability.cpp.o"
+  "CMakeFiles/bench_fig05_dcqcn_packet_instability.dir/bench_fig05_dcqcn_packet_instability.cpp.o.d"
+  "bench_fig05_dcqcn_packet_instability"
+  "bench_fig05_dcqcn_packet_instability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_dcqcn_packet_instability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

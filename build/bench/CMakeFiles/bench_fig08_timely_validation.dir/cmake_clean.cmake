@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_timely_validation.dir/bench_fig08_timely_validation.cpp.o"
+  "CMakeFiles/bench_fig08_timely_validation.dir/bench_fig08_timely_validation.cpp.o.d"
+  "bench_fig08_timely_validation"
+  "bench_fig08_timely_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_timely_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

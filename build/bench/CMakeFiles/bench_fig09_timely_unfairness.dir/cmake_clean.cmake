@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_timely_unfairness.dir/bench_fig09_timely_unfairness.cpp.o"
+  "CMakeFiles/bench_fig09_timely_unfairness.dir/bench_fig09_timely_unfairness.cpp.o.d"
+  "bench_fig09_timely_unfairness"
+  "bench_fig09_timely_unfairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_timely_unfairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_timely_burst_pacing.dir/bench_fig10_timely_burst_pacing.cpp.o"
+  "CMakeFiles/bench_fig10_timely_burst_pacing.dir/bench_fig10_timely_burst_pacing.cpp.o.d"
+  "bench_fig10_timely_burst_pacing"
+  "bench_fig10_timely_burst_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_timely_burst_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

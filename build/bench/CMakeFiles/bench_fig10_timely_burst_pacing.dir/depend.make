@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_timely_burst_pacing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_patched_phase_margin.dir/bench_fig11_patched_phase_margin.cpp.o"
+  "CMakeFiles/bench_fig11_patched_phase_margin.dir/bench_fig11_patched_phase_margin.cpp.o.d"
+  "bench_fig11_patched_phase_margin"
+  "bench_fig11_patched_phase_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_patched_phase_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_patched_timely.dir/bench_fig12_patched_timely.cpp.o"
+  "CMakeFiles/bench_fig12_patched_timely.dir/bench_fig12_patched_timely.cpp.o.d"
+  "bench_fig12_patched_timely"
+  "bench_fig12_patched_timely.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_patched_timely.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

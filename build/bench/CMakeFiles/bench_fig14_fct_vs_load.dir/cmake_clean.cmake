@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_fct_vs_load.dir/bench_fig14_fct_vs_load.cpp.o"
+  "CMakeFiles/bench_fig14_fct_vs_load.dir/bench_fig14_fct_vs_load.cpp.o.d"
+  "bench_fig14_fct_vs_load"
+  "bench_fig14_fct_vs_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fct_vs_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_queue_timeseries.dir/bench_fig16_queue_timeseries.cpp.o"
+  "CMakeFiles/bench_fig16_queue_timeseries.dir/bench_fig16_queue_timeseries.cpp.o.d"
+  "bench_fig16_queue_timeseries"
+  "bench_fig16_queue_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_queue_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_ingress_marking.dir/bench_fig17_ingress_marking.cpp.o"
+  "CMakeFiles/bench_fig17_ingress_marking.dir/bench_fig17_ingress_marking.cpp.o.d"
+  "bench_fig17_ingress_marking"
+  "bench_fig17_ingress_marking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_ingress_marking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_dcqcn_pi.dir/bench_fig18_dcqcn_pi.cpp.o"
+  "CMakeFiles/bench_fig18_dcqcn_pi.dir/bench_fig18_dcqcn_pi.cpp.o.d"
+  "bench_fig18_dcqcn_pi"
+  "bench_fig18_dcqcn_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_dcqcn_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

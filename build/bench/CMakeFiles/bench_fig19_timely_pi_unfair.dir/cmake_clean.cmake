@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_timely_pi_unfair.dir/bench_fig19_timely_pi_unfair.cpp.o"
+  "CMakeFiles/bench_fig19_timely_pi_unfair.dir/bench_fig19_timely_pi_unfair.cpp.o.d"
+  "bench_fig19_timely_pi_unfair"
+  "bench_fig19_timely_pi_unfair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_timely_pi_unfair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_jitter.dir/bench_fig20_jitter.cpp.o"
+  "CMakeFiles/bench_fig20_jitter.dir/bench_fig20_jitter.cpp.o.d"
+  "bench_fig20_jitter"
+  "bench_fig20_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_eq14_fixed_point.dir/bench_tab_eq14_fixed_point.cpp.o"
+  "CMakeFiles/bench_tab_eq14_fixed_point.dir/bench_tab_eq14_fixed_point.cpp.o.d"
+  "bench_tab_eq14_fixed_point"
+  "bench_tab_eq14_fixed_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_eq14_fixed_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

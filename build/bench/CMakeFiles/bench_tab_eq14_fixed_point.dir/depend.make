@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab_eq14_fixed_point.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_thm2_convergence.dir/bench_tab_thm2_convergence.cpp.o"
+  "CMakeFiles/bench_tab_thm2_convergence.dir/bench_tab_thm2_convergence.cpp.o.d"
+  "bench_tab_thm2_convergence"
+  "bench_tab_thm2_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_thm2_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab_thm2_convergence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fct_study.dir/fct_study.cpp.o"
+  "CMakeFiles/fct_study.dir/fct_study.cpp.o.d"
+  "fct_study"
+  "fct_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fct_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_explorer.dir/fluid_explorer.cpp.o"
+  "CMakeFiles/fluid_explorer.dir/fluid_explorer.cpp.o.d"
+  "fluid_explorer"
+  "fluid_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

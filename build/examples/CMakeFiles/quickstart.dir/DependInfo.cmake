@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/ecnd_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecnd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ecnd_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/ecnd_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/ecnd_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecnd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_map.dir/stability_map.cpp.o"
+  "CMakeFiles/stability_map.dir/stability_map.cpp.o.d"
+  "stability_map"
+  "stability_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/dcqcn_analysis.cpp" "src/control/CMakeFiles/ecnd_control.dir/dcqcn_analysis.cpp.o" "gcc" "src/control/CMakeFiles/ecnd_control.dir/dcqcn_analysis.cpp.o.d"
+  "/root/repo/src/control/discrete_dcqcn.cpp" "src/control/CMakeFiles/ecnd_control.dir/discrete_dcqcn.cpp.o" "gcc" "src/control/CMakeFiles/ecnd_control.dir/discrete_dcqcn.cpp.o.d"
+  "/root/repo/src/control/linearize.cpp" "src/control/CMakeFiles/ecnd_control.dir/linearize.cpp.o" "gcc" "src/control/CMakeFiles/ecnd_control.dir/linearize.cpp.o.d"
+  "/root/repo/src/control/matrix.cpp" "src/control/CMakeFiles/ecnd_control.dir/matrix.cpp.o" "gcc" "src/control/CMakeFiles/ecnd_control.dir/matrix.cpp.o.d"
+  "/root/repo/src/control/phase_margin.cpp" "src/control/CMakeFiles/ecnd_control.dir/phase_margin.cpp.o" "gcc" "src/control/CMakeFiles/ecnd_control.dir/phase_margin.cpp.o.d"
+  "/root/repo/src/control/timely_analysis.cpp" "src/control/CMakeFiles/ecnd_control.dir/timely_analysis.cpp.o" "gcc" "src/control/CMakeFiles/ecnd_control.dir/timely_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecnd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/ecnd_fluid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnd_control.dir/dcqcn_analysis.cpp.o"
+  "CMakeFiles/ecnd_control.dir/dcqcn_analysis.cpp.o.d"
+  "CMakeFiles/ecnd_control.dir/discrete_dcqcn.cpp.o"
+  "CMakeFiles/ecnd_control.dir/discrete_dcqcn.cpp.o.d"
+  "CMakeFiles/ecnd_control.dir/linearize.cpp.o"
+  "CMakeFiles/ecnd_control.dir/linearize.cpp.o.d"
+  "CMakeFiles/ecnd_control.dir/matrix.cpp.o"
+  "CMakeFiles/ecnd_control.dir/matrix.cpp.o.d"
+  "CMakeFiles/ecnd_control.dir/phase_margin.cpp.o"
+  "CMakeFiles/ecnd_control.dir/phase_margin.cpp.o.d"
+  "CMakeFiles/ecnd_control.dir/timely_analysis.cpp.o"
+  "CMakeFiles/ecnd_control.dir/timely_analysis.cpp.o.d"
+  "libecnd_control.a"
+  "libecnd_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnd_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnd_core.dir/rng.cpp.o"
+  "CMakeFiles/ecnd_core.dir/rng.cpp.o.d"
+  "CMakeFiles/ecnd_core.dir/stats.cpp.o"
+  "CMakeFiles/ecnd_core.dir/stats.cpp.o.d"
+  "CMakeFiles/ecnd_core.dir/table.cpp.o"
+  "CMakeFiles/ecnd_core.dir/table.cpp.o.d"
+  "CMakeFiles/ecnd_core.dir/timeseries.cpp.o"
+  "CMakeFiles/ecnd_core.dir/timeseries.cpp.o.d"
+  "libecnd_core.a"
+  "libecnd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnd_exp.dir/scenarios.cpp.o"
+  "CMakeFiles/ecnd_exp.dir/scenarios.cpp.o.d"
+  "libecnd_exp.a"
+  "libecnd_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnd_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

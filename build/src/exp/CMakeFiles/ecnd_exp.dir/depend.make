@@ -1,0 +1,2 @@
+# Empty dependencies file for ecnd_exp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluid/dcqcn_model.cpp" "src/fluid/CMakeFiles/ecnd_fluid.dir/dcqcn_model.cpp.o" "gcc" "src/fluid/CMakeFiles/ecnd_fluid.dir/dcqcn_model.cpp.o.d"
+  "/root/repo/src/fluid/dde_solver.cpp" "src/fluid/CMakeFiles/ecnd_fluid.dir/dde_solver.cpp.o" "gcc" "src/fluid/CMakeFiles/ecnd_fluid.dir/dde_solver.cpp.o.d"
+  "/root/repo/src/fluid/fluid_model.cpp" "src/fluid/CMakeFiles/ecnd_fluid.dir/fluid_model.cpp.o" "gcc" "src/fluid/CMakeFiles/ecnd_fluid.dir/fluid_model.cpp.o.d"
+  "/root/repo/src/fluid/jitter.cpp" "src/fluid/CMakeFiles/ecnd_fluid.dir/jitter.cpp.o" "gcc" "src/fluid/CMakeFiles/ecnd_fluid.dir/jitter.cpp.o.d"
+  "/root/repo/src/fluid/pi_models.cpp" "src/fluid/CMakeFiles/ecnd_fluid.dir/pi_models.cpp.o" "gcc" "src/fluid/CMakeFiles/ecnd_fluid.dir/pi_models.cpp.o.d"
+  "/root/repo/src/fluid/timely_model.cpp" "src/fluid/CMakeFiles/ecnd_fluid.dir/timely_model.cpp.o" "gcc" "src/fluid/CMakeFiles/ecnd_fluid.dir/timely_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecnd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

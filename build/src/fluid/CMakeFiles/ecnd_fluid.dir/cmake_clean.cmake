@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnd_fluid.dir/dcqcn_model.cpp.o"
+  "CMakeFiles/ecnd_fluid.dir/dcqcn_model.cpp.o.d"
+  "CMakeFiles/ecnd_fluid.dir/dde_solver.cpp.o"
+  "CMakeFiles/ecnd_fluid.dir/dde_solver.cpp.o.d"
+  "CMakeFiles/ecnd_fluid.dir/fluid_model.cpp.o"
+  "CMakeFiles/ecnd_fluid.dir/fluid_model.cpp.o.d"
+  "CMakeFiles/ecnd_fluid.dir/jitter.cpp.o"
+  "CMakeFiles/ecnd_fluid.dir/jitter.cpp.o.d"
+  "CMakeFiles/ecnd_fluid.dir/pi_models.cpp.o"
+  "CMakeFiles/ecnd_fluid.dir/pi_models.cpp.o.d"
+  "CMakeFiles/ecnd_fluid.dir/timely_model.cpp.o"
+  "CMakeFiles/ecnd_fluid.dir/timely_model.cpp.o.d"
+  "libecnd_fluid.a"
+  "libecnd_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnd_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecnd_fluid.a"
+)

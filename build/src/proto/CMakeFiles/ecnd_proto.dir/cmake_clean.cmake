@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnd_proto.dir/dcqcn/rp.cpp.o"
+  "CMakeFiles/ecnd_proto.dir/dcqcn/rp.cpp.o.d"
+  "CMakeFiles/ecnd_proto.dir/factories.cpp.o"
+  "CMakeFiles/ecnd_proto.dir/factories.cpp.o.d"
+  "CMakeFiles/ecnd_proto.dir/timely/timely.cpp.o"
+  "CMakeFiles/ecnd_proto.dir/timely/timely.cpp.o.d"
+  "libecnd_proto.a"
+  "libecnd_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnd_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

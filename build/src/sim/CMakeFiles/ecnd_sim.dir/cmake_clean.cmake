@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnd_sim.dir/host.cpp.o"
+  "CMakeFiles/ecnd_sim.dir/host.cpp.o.d"
+  "CMakeFiles/ecnd_sim.dir/network.cpp.o"
+  "CMakeFiles/ecnd_sim.dir/network.cpp.o.d"
+  "CMakeFiles/ecnd_sim.dir/port.cpp.o"
+  "CMakeFiles/ecnd_sim.dir/port.cpp.o.d"
+  "CMakeFiles/ecnd_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ecnd_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ecnd_sim.dir/switch.cpp.o"
+  "CMakeFiles/ecnd_sim.dir/switch.cpp.o.d"
+  "libecnd_sim.a"
+  "libecnd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnd_workload.dir/fct_stats.cpp.o"
+  "CMakeFiles/ecnd_workload.dir/fct_stats.cpp.o.d"
+  "CMakeFiles/ecnd_workload.dir/flow_size.cpp.o"
+  "CMakeFiles/ecnd_workload.dir/flow_size.cpp.o.d"
+  "CMakeFiles/ecnd_workload.dir/traffic.cpp.o"
+  "CMakeFiles/ecnd_workload.dir/traffic.cpp.o.d"
+  "libecnd_workload.a"
+  "libecnd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

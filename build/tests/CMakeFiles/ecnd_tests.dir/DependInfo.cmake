@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_control.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_control.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_control.cpp.o.d"
+  "/root/repo/tests/test_core_rng.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_core_rng.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_core_rng.cpp.o.d"
+  "/root/repo/tests/test_core_stats.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_core_stats.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_core_stats.cpp.o.d"
+  "/root/repo/tests/test_core_table.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_core_table.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_core_table.cpp.o.d"
+  "/root/repo/tests/test_core_timeseries.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_core_timeseries.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_core_timeseries.cpp.o.d"
+  "/root/repo/tests/test_cross_layer.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_cross_layer.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_cross_layer.cpp.o.d"
+  "/root/repo/tests/test_dcqcn_fluid.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_dcqcn_fluid.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_dcqcn_fluid.cpp.o.d"
+  "/root/repo/tests/test_dde_solver.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_dde_solver.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_dde_solver.cpp.o.d"
+  "/root/repo/tests/test_exp.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_exp.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_exp.cpp.o.d"
+  "/root/repo/tests/test_ext_pi_parkinglot.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_ext_pi_parkinglot.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_ext_pi_parkinglot.cpp.o.d"
+  "/root/repo/tests/test_jitter.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_jitter.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_jitter.cpp.o.d"
+  "/root/repo/tests/test_pi_fluid.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_pi_fluid.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_pi_fluid.cpp.o.d"
+  "/root/repo/tests/test_proto_dcqcn.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_proto_dcqcn.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_proto_dcqcn.cpp.o.d"
+  "/root/repo/tests/test_proto_timely.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_proto_timely.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_proto_timely.cpp.o.d"
+  "/root/repo/tests/test_sim_core.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_sim_core.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_sim_core.cpp.o.d"
+  "/root/repo/tests/test_sim_net.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_sim_net.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_sim_net.cpp.o.d"
+  "/root/repo/tests/test_timely_fluid.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_timely_fluid.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_timely_fluid.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/ecnd_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/ecnd_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/ecnd_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecnd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ecnd_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/ecnd_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/ecnd_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecnd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
