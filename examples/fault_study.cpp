@@ -1,0 +1,122 @@
+// fault_study: the paper's Figure-20 question — what happens to DCQCN (ECN
+// feedback) and TIMELY (delay feedback) when the feedback channel degrades —
+// pushed past jitter into outright loss: each run injects seeded CNP loss
+// (DCQCN) or ACK loss (TIMELY) at 0.1%–5% and reports fairness, utilization
+// and queue behavior. DCQCN's coalesced CNPs make a lost notification cost
+// one 50µs window at most, so it degrades gracefully; TIMELY has no fixed
+// point (Theorem 3), so rates that loss pushed apart have nothing pulling
+// them back together and fairness collapses.
+//
+// Runs are deterministic: the fault injector draws from its own seeded RNG
+// stream, so the same arguments always produce byte-identical CSV.
+//
+// Usage: fault_study [flows] [duration_s] [seed]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "exp/scenarios.hpp"
+
+using namespace ecnd;
+
+namespace {
+
+struct Row {
+  exp::Protocol protocol;
+  double loss;
+  double jain = 0.0;
+  double min_rate_gbps = 0.0;
+  double max_rate_gbps = 0.0;
+  double utilization = 0.0;
+  double queue_mean_kb = 0.0;
+  double queue_max_kb = 0.0;
+  std::uint64_t feedback_dropped = 0;
+};
+
+Row run_one(exp::Protocol protocol, double loss, int flows, double duration_s,
+            std::uint64_t seed) {
+  exp::LongFlowConfig config;
+  config.protocol = protocol;
+  config.flows = flows;
+  config.duration_s = duration_s;
+  config.seed = seed;
+  config.fault_seed = seed * 1000 + 7;  // independent fault stream
+  // Figure-9-style staggered starts: DCQCN converges from anywhere; TIMELY
+  // keeps whatever unfairness the stagger (and then the loss) hands it.
+  for (int i = 0; i < flows; ++i) {
+    config.start_times_s.push_back(i * duration_s / (20.0 * flows));
+  }
+  if (protocol == exp::Protocol::kDcqcn) {
+    config.faults.cnp_loss = loss;
+  } else {
+    config.faults.ack_loss = loss;
+  }
+  // Watchdog, not a tuning knob: a degraded-feedback run that spins must die
+  // loudly instead of hanging the sweep.
+  config.event_budget = 500'000'000;
+
+  const auto result = exp::run_long_flows(config);
+
+  Row row;
+  row.protocol = protocol;
+  row.loss = loss;
+  // Fairness over the settled tail: mean rate of each flow in the last 30%.
+  std::vector<double> tail_rates;
+  for (const auto& series : result.rate_gbps) {
+    tail_rates.push_back(series.mean_over(0.7 * duration_s, duration_s));
+  }
+  row.jain = jain_fairness(tail_rates);
+  row.min_rate_gbps = tail_rates.empty() ? 0.0 : *std::min_element(tail_rates.begin(), tail_rates.end());
+  row.max_rate_gbps = tail_rates.empty() ? 0.0 : *std::max_element(tail_rates.begin(), tail_rates.end());
+  row.utilization = result.utilization;
+  row.queue_mean_kb = result.queue_bytes.mean_over(0.0, duration_s) / 1e3;
+  row.queue_max_kb = result.queue_bytes.max_over(0.0, duration_s) / 1e3;
+  row.feedback_dropped =
+      result.faults.cnps_dropped + result.faults.acks_dropped;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int flows = argc > 1 ? std::atoi(argv[1]) : 10;
+  const double duration_s = argc > 2 ? std::atof(argv[2]) : 0.1;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  const std::vector<double> losses = {0.0, 0.001, 0.005, 0.01, 0.02, 0.05};
+  std::vector<Row> rows;
+  for (exp::Protocol protocol :
+       {exp::Protocol::kDcqcn, exp::Protocol::kTimely}) {
+    std::printf("%s, %d flows, %.3gs, seed %llu: feedback loss sweep\n",
+                exp::protocol_name(protocol), flows, duration_s,
+                static_cast<unsigned long long>(seed));
+    std::printf("  %7s  %6s  %9s  %9s  %5s  %10s  %9s  %8s\n", "loss", "jain",
+                "min Gb/s", "max Gb/s", "util", "queue KB", "max KB",
+                "dropped");
+    for (double loss : losses) {
+      const Row row = run_one(protocol, loss, flows, duration_s, seed);
+      std::printf(
+          "  %6.2f%%  %6.4f  %9.3f  %9.3f  %5.2f  %10.1f  %9.1f  %8llu\n",
+          loss * 100.0, row.jain, row.min_rate_gbps, row.max_rate_gbps,
+          row.utilization, row.queue_mean_kb, row.queue_max_kb,
+          static_cast<unsigned long long>(row.feedback_dropped));
+      rows.push_back(row);
+    }
+    std::printf("\n");
+  }
+
+  // Machine-readable block (same numbers; byte-identical for a given seed).
+  std::printf("csv,protocol,loss,jain,min_rate_gbps,max_rate_gbps,utilization,"
+              "queue_mean_kb,queue_max_kb,feedback_dropped\n");
+  for (const Row& row : rows) {
+    std::printf("csv,%s,%.4f,%.6f,%.6f,%.6f,%.6f,%.3f,%.3f,%llu\n",
+                exp::protocol_name(row.protocol), row.loss, row.jain,
+                row.min_rate_gbps, row.max_rate_gbps, row.utilization,
+                row.queue_mean_kb, row.queue_max_kb,
+                static_cast<unsigned long long>(row.feedback_dropped));
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build and run the full test suite — first
+# plain (the gate CI enforces), then with ECND_SANITIZE=ON so ASan+UBSan sweep
+# the same tests for memory and UB bugs the plain run can't see.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+mode="${1:-all}"
+
+if [[ "$mode" != "--sanitize-only" ]]; then
+  echo "== plain build + tests =="
+  run_suite build
+fi
+
+if [[ "$mode" != "--plain-only" ]]; then
+  echo "== ASan+UBSan build + tests =="
+  run_suite build-sanitize -DECND_SANITIZE=ON
+fi
+
+echo "check.sh: all requested suites passed"

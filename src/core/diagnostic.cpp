@@ -1,0 +1,31 @@
+#include "core/diagnostic.hpp"
+
+#include <cstdio>
+
+namespace ecnd {
+
+std::string Diagnostic::to_string() const {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "invariant violated in %s at t=%.9gs: %s = %.9g",
+                component.c_str(), time, variable.c_str(), value);
+  std::string out = head;
+  if (!detail.empty()) {
+    out += " (";
+    out += detail;
+    out += ")";
+  }
+  if (!last_good_state.empty()) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "\n  last good state at t=%.9gs:",
+                  last_good_time);
+    out += line;
+    for (double v : last_good_state) {
+      std::snprintf(line, sizeof(line), " %.9g", v);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace ecnd

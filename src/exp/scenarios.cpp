@@ -28,6 +28,20 @@ sim::RateControllerFactory make_factory(Protocol protocol,
   return {};
 }
 
+/// Shared fault/watchdog wiring for both runners. The injector must outlive
+/// the run (ports keep hooks into it).
+void arm_robustness(sim::Network& net, robust::FaultInjector& injector,
+                    const robust::FaultProfile& faults, sim::Port& bottleneck,
+                    std::uint64_t event_budget, double wall_clock_limit_s) {
+  if (faults.any()) {
+    injector.attach_host_nics(net, faults);
+    const robust::FaultProfile data_faults = faults.data_only();
+    if (data_faults.any()) injector.attach(bottleneck, data_faults);
+  }
+  if (event_budget != 0) net.sim().set_event_budget(event_budget);
+  if (wall_clock_limit_s > 0.0) net.sim().set_wall_clock_limit(wall_clock_limit_s);
+}
+
 }  // namespace
 
 const char* protocol_name(Protocol protocol) {
@@ -60,6 +74,10 @@ LongFlowResult run_long_flows(const LongFlowConfig& config) {
   if (config.pi_aqm.enabled && config.protocol == Protocol::kDcqcn) {
     star.bottleneck().set_pi_aqm(config.pi_aqm);
   }
+
+  robust::FaultInjector injector(config.fault_seed);
+  arm_robustness(net, injector, config.faults, star.bottleneck(),
+                 config.event_budget, config.wall_clock_limit_s);
 
   // Launch one long flow per sender at its configured start time and rate.
   std::vector<std::uint64_t> flow_ids(static_cast<std::size_t>(config.flows), 0);
@@ -113,6 +131,7 @@ LongFlowResult run_long_flows(const LongFlowConfig& config) {
   net.sim().run_until(duration);
 
   result.drops = net.total_drops();
+  result.faults = injector.counters();
   result.cnps = star.receiver->cnps_sent();
   result.pause_frames = star.sw->pause_frames_sent();
   result.utilization = static_cast<double>(star.bottleneck().tx_bytes()) * 8.0 /
@@ -132,6 +151,10 @@ FctResult run_fct_experiment(const FctConfig& config) {
       config.red.enabled && config.protocol == Protocol::kDcqcn;
   dumbbell_config.pfc = config.pfc;
   sim::Dumbbell dumbbell = make_dumbbell(net, dumbbell_config);
+
+  robust::FaultInjector injector(config.fault_seed);
+  arm_robustness(net, injector, config.faults, dumbbell.bottleneck(),
+                 config.event_budget, config.wall_clock_limit_s);
 
   for (sim::Host* sender : dumbbell.senders) {
     switch (config.protocol) {
@@ -176,6 +199,7 @@ FctResult run_fct_experiment(const FctConfig& config) {
   result.small = workload::summarize(result.small_fcts_us);
   result.overall = workload::summarize(workload::fcts_us(traffic.completed(), 0));
   result.drops = net.total_drops();
+  result.faults = injector.counters();
   const double elapsed_s = to_seconds(net.sim().now());
   result.utilization =
       elapsed_s > 0.0

@@ -9,6 +9,7 @@
 #include "core/timeseries.hpp"
 #include "proto/dcqcn/rp.hpp"
 #include "proto/timely/timely.hpp"
+#include "robust/fault_injector.hpp"
 #include "sim/network.hpp"
 #include "workload/fct_stats.hpp"
 #include "workload/traffic.hpp"
@@ -49,6 +50,18 @@ struct LongFlowConfig {
   /// Optional per-flow initial rates as a fraction of link rate (TIMELY
   /// variants only; DCQCN always starts at line rate).
   std::vector<double> initial_rate_fraction;
+
+  /// Degraded-feedback faults: the feedback-path slice (CNP/ACK loss,
+  /// duplication, delay/reorder) applies at every host NIC, the data-path
+  /// slice (data loss, ECN mis-marking, link flaps) at the bottleneck.
+  /// Faults draw from their own RNG stream seeded by `fault_seed`, so a
+  /// faulted run's base randomness is identical to its clean twin's.
+  robust::FaultProfile faults;
+  std::uint64_t fault_seed = 97;
+  /// Runaway-run watchdogs (0 = disabled): see Simulator::set_event_budget
+  /// and set_wall_clock_limit.
+  std::uint64_t event_budget = 0;
+  double wall_clock_limit_s = 0.0;
 };
 
 struct LongFlowResult {
@@ -58,6 +71,7 @@ struct LongFlowResult {
   std::uint64_t drops = 0;
   std::uint64_t cnps = 0;
   std::uint64_t pause_frames = 0;
+  robust::FaultCounters faults;         ///< what the injector actually did
 };
 
 LongFlowResult run_long_flows(const LongFlowConfig& config);
@@ -79,6 +93,12 @@ struct FctConfig {
   proto::PatchedTimelyParams patched;
   sim::RedConfig red{.enabled = true};
   sim::PfcConfig pfc{.enabled = true};  ///< RoCE fabrics run PFC
+
+  /// Degraded-feedback faults and watchdogs (see LongFlowConfig).
+  robust::FaultProfile faults;
+  std::uint64_t fault_seed = 97;
+  std::uint64_t event_budget = 0;
+  double wall_clock_limit_s = 0.0;
 };
 
 struct FctResult {
@@ -89,6 +109,7 @@ struct FctResult {
   double utilization = 0.0;
   std::uint64_t drops = 0;
   bool all_completed = false;
+  robust::FaultCounters faults;
 };
 
 FctResult run_fct_experiment(const FctConfig& config);

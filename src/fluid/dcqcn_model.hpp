@@ -99,6 +99,7 @@ class DcqcnFluidModel final : public FluidModel {
   std::vector<double> initial_state() const override;
   double suggested_dt() const override;
   double mtu_bytes() const override { return params_.mtu_bytes; }
+  double capacity_pps() const override { return params_.capacity_pps(); }
 
   // DdeSystem interface.
   std::size_t dim() const override {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace ecnd::fluid {
 
@@ -63,10 +64,13 @@ DdeSolver::DdeSolver(const DdeSystem& system, std::vector<double> initial_state,
   history_.append(t_, x_);
 }
 
-void DdeSolver::step() {
-  const std::size_t n = x_.size();
-  const double h = dt_;
+void DdeSolver::set_guard(Guard guard, int max_step_halvings) {
+  guard_ = std::move(guard);
+  max_step_halvings_ = max_step_halvings;
+}
 
+void DdeSolver::advance(double h) {
+  const std::size_t n = x_.size();
   system_.rhs(t_, x_, history_, k1_);
   for (std::size_t i = 0; i < n; ++i) tmp_[i] = x_[i] + 0.5 * h * k1_[i];
   system_.clamp(tmp_);
@@ -82,7 +86,10 @@ void DdeSolver::step() {
     x_[i] += h / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
   }
   system_.clamp(x_);
-  t_ += h;
+}
+
+void DdeSolver::commit(double t_new) {
+  t_ = t_new;
   history_.append(t_, x_);
 
   // Trim history we can never look back into again (keep 2x max delay).
@@ -91,6 +98,35 @@ void DdeSolver::step() {
     history_.trim_before(t_ - keep);
     last_trim_ = t_;
   }
+}
+
+void DdeSolver::step() {
+  if (!guard_) {
+    advance(dt_);
+    commit(t_ + dt_);
+    return;
+  }
+
+  const double t_start = t_;
+  x_save_.assign(x_.begin(), x_.end());
+  double h = dt_;
+  Diagnostic diag;
+  for (int attempt = 0; attempt <= max_step_halvings_; ++attempt) {
+    advance(h);
+    diag = {};
+    if (guard_(t_start + h, x_, diag)) {
+      if (attempt > 0) ++steps_retried_;
+      commit(t_start + h);
+      return;
+    }
+    // Rejected: roll back to the last accepted state and try a gentler step.
+    x_.assign(x_save_.begin(), x_save_.end());
+    h *= 0.5;
+  }
+  if (diag.component.empty()) diag.component = "DdeSolver";
+  diag.last_good_time = t_start;
+  diag.last_good_state = x_save_;
+  throw InvariantViolation(std::move(diag));
 }
 
 void DdeSolver::run_until(

@@ -17,9 +17,12 @@
 // "flows start at t=0 with an empty queue").
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
+
+#include "core/diagnostic.hpp"
 
 namespace ecnd::fluid {
 
@@ -75,6 +78,13 @@ class DdeSystem {
 /// Fixed-step RK4 driver over a DdeSystem.
 class DdeSolver {
  public:
+  /// Invariant check run on every trial step before it is accepted. Returns
+  /// true to accept; on rejection fills `diag` (component/last-good fields
+  /// are completed by the solver). See robust/invariant_guard.hpp for the
+  /// standard guards (non-finite state, queue/rate bounds).
+  using Guard =
+      std::function<bool(double t, std::span<const double> x, Diagnostic& diag)>;
+
   DdeSolver(const DdeSystem& system, std::vector<double> initial_state,
             double t0, double dt);
 
@@ -82,7 +92,18 @@ class DdeSolver {
   std::span<const double> state() const { return x_; }
   const History& history() const { return history_; }
 
-  /// Advance one step of size dt.
+  /// Install an invariant guard. A rejected step is retried from the last
+  /// accepted state at half the step size, up to `max_step_halvings` times
+  /// (graceful degradation through a stiff transient); if even the smallest
+  /// step is rejected the solver throws InvariantViolation carrying the
+  /// guard's diagnostic plus the last good state. The nominal dt is restored
+  /// for the following step.
+  void set_guard(Guard guard, int max_step_halvings = 6);
+
+  /// Steps that needed at least one halving before a guard accepted them.
+  std::uint64_t steps_retried() const { return steps_retried_; }
+
+  /// Advance one step of size dt (less when the guard forces a retry).
   void step();
 
   /// Advance until time t_end, invoking `observer(t, x)` every
@@ -93,6 +114,10 @@ class DdeSolver {
                  double sample_interval);
 
  private:
+  /// One RK4 update of size h applied in place to x_ (no history append).
+  void advance(double h);
+  void commit(double t_new);
+
   const DdeSystem& system_;
   double t_;
   double dt_;
@@ -100,6 +125,10 @@ class DdeSolver {
   History history_;
   // Scratch buffers for RK4 stages (avoid per-step allocation).
   std::vector<double> k1_, k2_, k3_, k4_, tmp_;
+  std::vector<double> x_save_;  // last accepted state, for guarded retries
+  Guard guard_;
+  int max_step_halvings_ = 6;
+  std::uint64_t steps_retried_ = 0;
   double last_trim_ = 0.0;
 };
 

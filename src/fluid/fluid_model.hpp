@@ -37,6 +37,10 @@ class FluidModel : public DdeSystem {
   /// MTU used for packet<->byte conversions.
   virtual double mtu_bytes() const = 0;
 
+  /// Bottleneck capacity C in packets/s (the natural scale of every rate
+  /// variable; invariant guards bound rates by a multiple of it).
+  virtual double capacity_pps() const = 0;
+
   double queue_bytes(std::span<const double> x) const {
     return x[queue_index()] * mtu_bytes();
   }

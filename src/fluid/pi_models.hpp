@@ -54,6 +54,7 @@ class DcqcnPiFluidModel final : public FluidModel {
   std::vector<double> initial_state() const override;
   double suggested_dt() const override { return flow_dynamics_.suggested_dt(); }
   double mtu_bytes() const override { return params_.mtu_bytes; }
+  double capacity_pps() const override { return params_.capacity_pps(); }
 
   std::size_t dim() const override {
     return 2 + 3 * static_cast<std::size_t>(params_.num_flows);
@@ -100,6 +101,7 @@ class PatchedTimelyPiFluidModel final : public FluidModel {
   std::vector<double> initial_state() const override;
   double suggested_dt() const override;
   double mtu_bytes() const override { return params_.mtu_bytes; }
+  double capacity_pps() const override { return params_.capacity_pps(); }
 
   std::size_t dim() const override {
     return 1 + 3 * static_cast<std::size_t>(params_.num_flows);

@@ -83,6 +83,7 @@ class TimelyFluidBase : public FluidModel {
   std::vector<double> initial_state() const override;
   double suggested_dt() const override;
   double mtu_bytes() const override { return params_.mtu_bytes; }
+  double capacity_pps() const override { return params_.capacity_pps(); }
 
   std::size_t dim() const override {
     return 1 + 2 * static_cast<std::size_t>(params_.num_flows);

@@ -1,0 +1,110 @@
+#include "robust/fault_injector.hpp"
+
+#include "sim/network.hpp"
+
+namespace ecnd::robust {
+
+FaultProfile FaultProfile::feedback_only() const {
+  FaultProfile p;
+  p.cnp_loss = cnp_loss;
+  p.ack_loss = ack_loss;
+  p.cnp_duplicate = cnp_duplicate;
+  p.ack_duplicate = ack_duplicate;
+  p.feedback_delay_prob = feedback_delay_prob;
+  p.feedback_extra_delay = feedback_extra_delay;
+  return p;
+}
+
+FaultProfile FaultProfile::data_only() const {
+  FaultProfile p;
+  p.data_loss = data_loss;
+  p.ecn_flip = ecn_flip;
+  p.flaps = flaps;
+  return p;
+}
+
+void FaultInjector::attach(sim::Port& port, FaultProfile profile) {
+  port.set_fault_hook(
+      [this, profile = std::move(profile)](const sim::Packet& pkt,
+                                           PicoTime now) {
+        return decide(pkt, now, profile);
+      });
+}
+
+void FaultInjector::attach_host_nics(sim::Network& net,
+                                     const FaultProfile& profile) {
+  const FaultProfile feedback = profile.feedback_only();
+  if (!feedback.any()) return;
+  for (const auto& host : net.hosts()) attach(host->nic(), feedback);
+}
+
+sim::FaultAction FaultInjector::decide(const sim::Packet& pkt, PicoTime now,
+                                       const FaultProfile& profile) {
+  sim::FaultAction act;
+
+  const double t = to_seconds(now);
+  for (const LinkFlap& flap : profile.flaps) {
+    if (t >= flap.down_s && t < flap.up_s) {
+      act.drop = true;
+      ++counters_.flap_dropped;
+      return act;
+    }
+  }
+
+  switch (pkt.type) {
+    case sim::PacketType::kCnp:
+      if (profile.cnp_loss > 0.0 && rng_.bernoulli(profile.cnp_loss)) {
+        act.drop = true;
+        ++counters_.cnps_dropped;
+        return act;
+      }
+      if (profile.cnp_duplicate > 0.0 && rng_.bernoulli(profile.cnp_duplicate)) {
+        act.duplicates = 1;
+        ++counters_.cnps_duplicated;
+      }
+      if (profile.feedback_delay_prob > 0.0 &&
+          rng_.bernoulli(profile.feedback_delay_prob)) {
+        act.extra_delay = profile.feedback_extra_delay;
+        ++counters_.feedback_delayed;
+      }
+      break;
+
+    case sim::PacketType::kAck:
+      if (profile.ack_loss > 0.0 && rng_.bernoulli(profile.ack_loss)) {
+        act.drop = true;
+        ++counters_.acks_dropped;
+        return act;
+      }
+      if (profile.ack_duplicate > 0.0 && rng_.bernoulli(profile.ack_duplicate)) {
+        act.duplicates = 1;
+        ++counters_.acks_duplicated;
+      }
+      if (profile.feedback_delay_prob > 0.0 &&
+          rng_.bernoulli(profile.feedback_delay_prob)) {
+        act.extra_delay = profile.feedback_extra_delay;
+        ++counters_.feedback_delayed;
+      }
+      break;
+
+    case sim::PacketType::kData:
+      if (profile.data_loss > 0.0 && rng_.bernoulli(profile.data_loss)) {
+        act.drop = true;
+        ++counters_.data_dropped;
+        return act;
+      }
+      if (profile.ecn_flip > 0.0 && rng_.bernoulli(profile.ecn_flip)) {
+        act.flip_ecn = true;
+        ++counters_.ecn_flipped;
+      }
+      break;
+
+    case sim::PacketType::kPause:
+    case sim::PacketType::kResume:
+      // PFC frames are hop-local hardware signaling; faulting them deadlocks
+      // the port model rather than stressing congestion control.
+      break;
+  }
+  return act;
+}
+
+}  // namespace ecnd::robust

@@ -1,0 +1,109 @@
+#pragma once
+// Deterministic fault injection for the packet simulator.
+//
+// The paper only degrades feedback by *jittering* it (§6, Figure 20); real
+// fabrics also lose, duplicate and reorder feedback packets, flap links, and
+// mis-mark ECN. A FaultInjector installs seeded wire-fault hooks (see
+// sim::FaultHook) on selected ports and draws every fault decision from its
+// own RNG stream, so
+//   * the same seed reproduces the exact same fault pattern, and
+//   * the base run's random decisions (ECN marking, workload arrivals) are
+//     untouched — a faulted run differs from its clean twin only by the
+//     injected faults.
+//
+// Feedback faults (CNP/ACK loss, duplication, delay/reordering) are applied
+// at the feedback's *origin* — the receiving host's NIC — so "0.5% CNP loss"
+// means exactly that, independent of path length. Data-path faults (loss,
+// ECN mis-marking, link flaps) belong on the bottleneck port.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "sim/port.hpp"
+
+namespace ecnd::sim {
+class Network;
+}
+
+namespace ecnd::robust {
+
+/// One link-outage window [down_s, up_s): every packet transmitted during it
+/// is lost (the port keeps serializing; the wire eats the bits).
+struct LinkFlap {
+  double down_s = 0.0;
+  double up_s = 0.0;
+};
+
+struct FaultProfile {
+  // Feedback-path faults: independent Bernoulli draw per packet.
+  double cnp_loss = 0.0;       ///< P(drop) per CNP
+  double ack_loss = 0.0;       ///< P(drop) per ACK
+  double cnp_duplicate = 0.0;  ///< P(one extra copy) per surviving CNP
+  double ack_duplicate = 0.0;  ///< P(one extra copy) per surviving ACK
+  /// With this probability a surviving CNP/ACK is held back by
+  /// `feedback_extra_delay`; a held packet arrives after later-sent ones, so
+  /// this is also the feedback *reordering* fault.
+  double feedback_delay_prob = 0.0;
+  PicoTime feedback_extra_delay = 0;
+
+  // Data-path faults.
+  double data_loss = 0.0;  ///< P(drop) per data packet
+  /// P(the CE codepoint is toggled) per data packet: spurious marks on clean
+  /// packets, erased marks on congested ones (ECN mis-marking).
+  double ecn_flip = 0.0;
+
+  /// Link-down windows (absolute simulation time, seconds).
+  std::vector<LinkFlap> flaps;
+
+  bool any() const {
+    return cnp_loss > 0.0 || ack_loss > 0.0 || cnp_duplicate > 0.0 ||
+           ack_duplicate > 0.0 || feedback_delay_prob > 0.0 ||
+           data_loss > 0.0 || ecn_flip > 0.0 || !flaps.empty();
+  }
+  /// The profile restricted to its feedback-path faults (for host NICs).
+  FaultProfile feedback_only() const;
+  /// The profile restricted to its data-path faults (for bottleneck ports).
+  FaultProfile data_only() const;
+};
+
+struct FaultCounters {
+  std::uint64_t cnps_dropped = 0;
+  std::uint64_t acks_dropped = 0;
+  std::uint64_t data_dropped = 0;
+  std::uint64_t cnps_duplicated = 0;
+  std::uint64_t acks_duplicated = 0;
+  std::uint64_t feedback_delayed = 0;
+  std::uint64_t ecn_flipped = 0;
+  std::uint64_t flap_dropped = 0;
+
+  std::uint64_t total() const {
+    return cnps_dropped + acks_dropped + data_dropped + cnps_duplicated +
+           acks_duplicated + feedback_delayed + ecn_flipped + flap_dropped;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Install `profile` on one port's egress wire. The injector must outlive
+  /// the port's last transmission.
+  void attach(sim::Port& port, FaultProfile profile);
+
+  /// Install the feedback-path slice of `profile` on every host NIC in the
+  /// network (where CNPs and ACKs originate).
+  void attach_host_nics(sim::Network& net, const FaultProfile& profile);
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  sim::FaultAction decide(const sim::Packet& pkt, PicoTime now,
+                          const FaultProfile& profile);
+
+  Rng rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace ecnd::robust

@@ -1,0 +1,98 @@
+#include "robust/invariant_guard.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace ecnd::robust {
+namespace {
+
+std::string variable_label(const std::vector<std::string>& names,
+                           std::size_t i) {
+  if (i < names.size() && !names[i].empty()) return names[i];
+  return "x[" + std::to_string(i) + "]";
+}
+
+/// Names every variable of a FluidModel: "q" for the queue, "flowK.rate" for
+/// the rate registers, "x[i]" for model-specific auxiliaries (alpha, target
+/// rate, gradient, PI state, ...).
+std::vector<std::string> model_variable_names(const fluid::FluidModel& model) {
+  std::vector<std::string> names(model.dim());
+  names[model.queue_index()] = "q";
+  for (int flow = 0; flow < model.num_flows(); ++flow) {
+    names[model.rate_index(flow)] = "flow" + std::to_string(flow) + ".rate";
+  }
+  return names;
+}
+
+bool check_finite(double t, std::span<const double> x,
+                  const std::vector<std::string>& names, Diagnostic& diag) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i])) {
+      diag = Diagnostic::make("DdeSolver", variable_label(names, i), t, x[i],
+                              "non-finite state");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+fluid::DdeSolver::Guard make_fluid_guard(const fluid::FluidModel& model,
+                                         FluidGuardConfig config) {
+  // Primary variables (queue, per-flow rates) are checked before the
+  // auxiliary sweep: a NaN born in a rate derivative contaminates coupled
+  // auxiliaries within the same RK4 step, and the diagnostic should name the
+  // protocol-level variable, not whichever auxiliary has the lowest index.
+  return [&model, config, names = model_variable_names(model)](
+             double t, std::span<const double> x, Diagnostic& diag) {
+    const double q = x[model.queue_index()];
+    if (!std::isfinite(q) || q < 0.0 || q > config.max_queue_pkts) {
+      diag = Diagnostic::make(
+          "DdeSolver", "q", t, q,
+          std::isfinite(q) ? "queue outside [0, " +
+                                 std::to_string(config.max_queue_pkts) +
+                                 "] packets"
+                           : "non-finite state");
+      return false;
+    }
+    const double rate_cap = config.max_rate_factor * model.capacity_pps();
+    for (int flow = 0; flow < model.num_flows(); ++flow) {
+      const double r = x[model.rate_index(flow)];
+      if (!std::isfinite(r) || r < 0.0 || r > rate_cap) {
+        diag = Diagnostic::make(
+            "DdeSolver", names[model.rate_index(flow)], t, r,
+            std::isfinite(r)
+                ? "rate outside [0, " + std::to_string(rate_cap) + "] pkts/s"
+                : "non-finite state");
+        return false;
+      }
+    }
+    return check_finite(t, x, names, diag);
+  };
+}
+
+fluid::DdeSolver::Guard make_bound_guard(double abs_bound,
+                                         std::vector<std::string> names) {
+  return [abs_bound, names = std::move(names)](
+             double t, std::span<const double> x, Diagnostic& diag) {
+    if (!check_finite(t, x, names, diag)) return false;
+    if (abs_bound > 0.0) {
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        if (std::abs(x[i]) > abs_bound) {
+          diag = Diagnostic::make("DdeSolver", variable_label(names, i), t,
+                                  x[i], "|x| > " + std::to_string(abs_bound));
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+}
+
+void guard_solver(fluid::DdeSolver& solver, const fluid::FluidModel& model,
+                  FluidGuardConfig config) {
+  solver.set_guard(make_fluid_guard(model, config), config.max_step_halvings);
+}
+
+}  // namespace ecnd::robust

@@ -1,0 +1,53 @@
+#pragma once
+// Standard invariant guards for the fluid engine.
+//
+// A guard is a DdeSolver::Guard predicate run on every trial integration
+// step. The solver retries a rejected step at dt/2 (bounded halvings), then
+// aborts by throwing InvariantViolation with the guard's diagnostic — time,
+// offending variable, value, and the last accepted state — so a numerical
+// blow-up is a hard, attributable failure instead of a garbage CSV.
+//
+// make_fluid_guard() is the one to use with the paper's models: it knows the
+// FluidModel variable layout and checks, per accepted step,
+//   * every state variable is finite,
+//   * the bottleneck queue stays in [0, max_queue_pkts],
+//   * every flow rate stays in [0, max_rate_factor * C].
+// The simulator-side counterparts (queue accounting, rate registers, event
+// budget, wall clock) live inside src/sim itself — see Port::try_transmit,
+// Host::pump and Simulator::set_event_budget/set_wall_clock_limit.
+
+#include <string>
+#include <vector>
+
+#include "fluid/dde_solver.hpp"
+#include "fluid/fluid_model.hpp"
+
+namespace ecnd::robust {
+
+struct FluidGuardConfig {
+  /// Queue bound in packets. Default: 1e7 packets (10 GB at 1KB MTU) — far
+  /// above any physical buffer, so only genuine divergence trips it.
+  double max_queue_pkts = 1e7;
+  /// Per-flow rate bound as a multiple of link capacity. Fluid rates can
+  /// legitimately overshoot C transiently; 16x only catches blow-ups.
+  double max_rate_factor = 16.0;
+  /// Step halvings the solver may try before aborting.
+  int max_step_halvings = 6;
+};
+
+/// Guard bound to `model`'s variable layout. The model must outlive the
+/// returned guard (it already outlives the solver it is installed on).
+fluid::DdeSolver::Guard make_fluid_guard(const fluid::FluidModel& model,
+                                         FluidGuardConfig config = {});
+
+/// Model-agnostic guard for any DdeSystem: rejects non-finite state and,
+/// when `abs_bound` > 0, any |x[i]| > abs_bound. `names` labels variables in
+/// diagnostics (missing entries render as "x[i]").
+fluid::DdeSolver::Guard make_bound_guard(double abs_bound = 0.0,
+                                         std::vector<std::string> names = {});
+
+/// Install the standard guard on a solver integrating `model`.
+void guard_solver(fluid::DdeSolver& solver, const fluid::FluidModel& model,
+                  FluidGuardConfig config = {});
+
+}  // namespace ecnd::robust

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <string>
+
+#include "core/diagnostic.hpp"
 
 namespace ecnd::sim {
 
@@ -84,7 +88,21 @@ void Host::pump(std::uint64_t flow_id) {
   // Pace: the *average* rate equals ctl.rate() whether we emitted one MTU or
   // a whole chunk. The rate is re-read at each installment, so feedback that
   // arrives mid-gap takes effect on the very next transmission.
-  const double rate = std::max(ctl.rate(), mbps(0.1));
+  //
+  // Guard the rate register before using it as a divisor: a NaN or negative
+  // rate (a controller arithmetic bug, or corrupted feedback) would otherwise
+  // become a nonsensical pacing gap and silently garble the rest of the run.
+  // Anything above 1000x the NIC rate is a runaway register, not a
+  // configuration choice.
+  const double raw_rate = ctl.rate();
+  if (!std::isfinite(raw_rate) || raw_rate < 0.0 ||
+      raw_rate > 1000.0 * nic_->rate()) {
+    throw InvariantViolation(Diagnostic::make(
+        "Host " + Node::name(), "flow" + std::to_string(flow_id) + ".rate",
+        to_seconds(sim_.now()), raw_rate,
+        "controller rate register outside [0, 1000x line rate]"));
+  }
+  const double rate = std::max(raw_rate, mbps(0.1));
   const PicoTime gap = serialization_time(emitted, rate);
   sim_.schedule_in(gap, [this, flow_id] { pump(flow_id); });
 }

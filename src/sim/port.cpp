@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "core/diagnostic.hpp"
 #include "sim/node.hpp"
 
 namespace ecnd::sim {
@@ -96,6 +98,12 @@ void Port::try_transmit() {
   Packet pkt = queues_[prio].front();
   queues_[prio].pop_front();
   queued_bytes_[prio] -= pkt.size;
+  if (queued_bytes_[prio] < 0) {
+    throw InvariantViolation(Diagnostic::make(
+        "Port " + name_, "queued_bytes[" + std::to_string(prio) + "]",
+        to_seconds(sim_.now()), static_cast<double>(queued_bytes_[prio]),
+        "queue byte accounting went negative"));
+  }
 
   if (wire_timestamping_ && pkt.type == PacketType::kData) {
     pkt.sent_at = sim_.now();
@@ -119,6 +127,13 @@ void Port::try_transmit() {
   tx_bytes_ += static_cast<std::uint64_t>(pkt.size);
   if (pkt.ecn_marked) ++marked_packets_;
 
+  // Wire faults (fault injection): the packet has been transmitted and
+  // counted; the hook decides whether the wire loses, copies, holds back or
+  // corrupts it. Serialization time is spent either way.
+  FaultAction fault;
+  if (fault_hook_) fault = fault_hook_(pkt, sim_.now());
+  if (fault.flip_ecn) pkt.ecn_marked = !pkt.ecn_marked;
+
   const PicoTime serialization = serialization_time(pkt.size, rate_);
   busy_ = true;
   // Transmitter frees up after serialization; the packet lands at the peer
@@ -127,8 +142,14 @@ void Port::try_transmit() {
     busy_ = false;
     try_transmit();
   });
-  sim_.schedule_in(serialization + propagation_,
-                   [this, pkt]() mutable { peer_->receive(pkt, peer_ingress_); });
+  if (!fault.drop) {
+    const PicoTime arrival = serialization + propagation_ + fault.extra_delay;
+    for (int copy = 0; copy <= fault.duplicates; ++copy) {
+      sim_.schedule_in(arrival, [this, pkt]() mutable {
+        peer_->receive(pkt, peer_ingress_);
+      });
+    }
+  }
 }
 
 }  // namespace ecnd::sim

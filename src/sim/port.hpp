@@ -55,6 +55,21 @@ struct PiAqmConfig {
   double mtu_bytes = 1000.0;        ///< packet-unit conversion for the gains
 };
 
+/// What a fault hook may do to a packet that just finished serializing:
+/// lose it on the wire, deliver extra copies, hold it back (delaying one
+/// packet past its successors reorders the stream), or corrupt its ECN bit.
+struct FaultAction {
+  bool drop = false;
+  int duplicates = 0;       ///< extra copies delivered alongside the original
+  PicoTime extra_delay = 0; ///< added to propagation for packet and copies
+  bool flip_ecn = false;    ///< toggle the CE codepoint (mis-marking)
+};
+
+/// Consulted once per transmitted packet, after marking/timestamping and
+/// counter updates — the packet *was* sent; the fault happens on the wire.
+/// `now` is the transmit time (link-flap windows are time-based).
+using FaultHook = std::function<FaultAction(const Packet&, PicoTime now)>;
+
 class Port {
  public:
   /// `rate` and `propagation` describe the attached link direction this port
@@ -76,6 +91,8 @@ class Port {
   void set_wire_timestamping(bool on) { wire_timestamping_ = on; }
   /// Maximum bytes queued across priorities before tail drop (0 = unbounded).
   void set_buffer_limit(Bytes limit) { buffer_limit_ = limit; }
+  /// Install a wire-fault hook (see FaultHook); empty hook removes it.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   const std::string& name() const { return name_; }
   BitsPerSecond rate() const { return rate_; }
@@ -117,6 +134,7 @@ class Port {
   void pi_update();
 
   RedConfig red_;
+  FaultHook fault_hook_;
   PiAqmConfig pi_;
   double pi_p_ = 0.0;
   double pi_prev_queue_pkts_ = 0.0;

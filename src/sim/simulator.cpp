@@ -2,11 +2,34 @@
 
 #include <cassert>
 
+#include "core/diagnostic.hpp"
+
 namespace ecnd::sim {
 
 void Simulator::schedule_at(PicoTime t, Action action) {
-  assert(t >= now_);
+  if (t < now_) {
+    ++late_schedules_;
+    t = now_;
+  }
   queue_.push({t, next_seq_++, std::move(action)});
+}
+
+void Simulator::check_watchdogs() {
+  if (event_budget_ != 0 && processed_ > event_budget_) {
+    throw InvariantViolation(Diagnostic::make(
+        "Simulator", "events_processed", to_seconds(now_),
+        static_cast<double>(processed_), "event budget exhausted"));
+  }
+  // A chrono call per event would dominate the dispatch cost; amortize it.
+  if (wall_limit_s_ > 0.0 && (processed_ & 0xFFF) == 0) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - wall_start_;
+    if (elapsed.count() > wall_limit_s_) {
+      throw InvariantViolation(Diagnostic::make(
+          "Simulator", "wall_clock_seconds", to_seconds(now_), elapsed.count(),
+          "wall-clock watchdog expired"));
+    }
+  }
 }
 
 bool Simulator::run_one() {
@@ -17,6 +40,7 @@ bool Simulator::run_one() {
   assert(ev.t >= now_);
   now_ = ev.t;
   ++processed_;
+  if (event_budget_ != 0 || wall_limit_s_ > 0.0) check_watchdogs();
   ev.action();
   return true;
 }

@@ -6,6 +6,7 @@
 // exact; ties break in schedule order (FIFO), which keeps runs deterministic
 // regardless of priority-queue internals.
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -23,11 +24,30 @@ class Simulator {
   std::uint64_t events_processed() const { return processed_; }
   std::size_t events_pending() const { return queue_.size(); }
 
-  /// Schedule `action` to run at absolute time `t` (>= now).
+  /// Schedule `action` to run at absolute time `t`. A `t` in the past would
+  /// silently corrupt event order, so it is clamped to `now` and counted in
+  /// late_schedules() instead (feedback code computing a target time from a
+  /// stale rate register can legitimately land a few picoseconds early).
   void schedule_at(PicoTime t, Action action);
   /// Schedule `action` to run `delay` picoseconds from now.
   void schedule_in(PicoTime delay, Action action) {
     schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Number of schedule_at() calls that targeted the past and were clamped.
+  std::uint64_t late_schedules() const { return late_schedules_; }
+
+  /// Watchdog: abort (InvariantViolation) once more than `max_events` events
+  /// have been processed. 0 disables. Catches runaway event loops — e.g. a
+  /// pacing bug rescheduling itself with a zero gap — before they spin
+  /// forever.
+  void set_event_budget(std::uint64_t max_events) { event_budget_ = max_events; }
+  /// Watchdog: abort (InvariantViolation) once the host has spent more than
+  /// `seconds` of wall-clock time inside run_one(). 0 disables. Checked every
+  /// few thousand events to keep the hot loop cheap.
+  void set_wall_clock_limit(double seconds) {
+    wall_limit_s_ = seconds;
+    wall_start_ = std::chrono::steady_clock::now();
   }
 
   /// Run the next pending event; returns false when the queue is empty.
@@ -40,6 +60,8 @@ class Simulator {
   void run_all();
 
  private:
+  void check_watchdogs();
+
   struct Event {
     PicoTime t;
     std::uint64_t seq;
@@ -55,6 +77,10 @@ class Simulator {
   PicoTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t late_schedules_ = 0;
+  std::uint64_t event_budget_ = 0;
+  double wall_limit_s_ = 0.0;
+  std::chrono::steady_clock::time_point wall_start_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -120,6 +120,64 @@ TEST(DdeSolver, DelayedOscillationPeriodAtCriticalGain) {
   EXPECT_NEAR(period, 4.0 * tau, 0.002);
 }
 
+TEST(History, ValueAtExactSamplePointsAndPerVariable) {
+  History h(2);
+  const double a[2] = {1.0, -1.0};
+  const double b[2] = {2.0, -2.0};
+  const double c[2] = {4.0, -4.0};
+  h.append(0.0, a);
+  h.append(0.5, b);
+  h.append(1.0, c);
+  EXPECT_DOUBLE_EQ(h.value(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.value(0, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.value(0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.value(1, 0.5), -2.0);
+  EXPECT_DOUBLE_EQ(h.value(1, 0.75), -3.0);
+}
+
+TEST(History, TrimKeepsThePointStraddlingTKeep) {
+  // Points at 0.0, 0.1, ..., 1.0; after trim_before(0.55) a lookup at 0.55
+  // still needs the bracketing pair (0.5, 0.6), so 0.5 must survive.
+  History h(1);
+  for (int i = 0; i <= 10; ++i) {
+    double v = static_cast<double>(i);
+    h.append(i * 0.1, std::span<const double>(&v, 1));
+  }
+  h.trim_before(0.55);
+  EXPECT_NEAR(h.value(0, 0.55), 5.5, 1e-9);
+  EXPECT_NEAR(h.value(0, 0.5), 5.0, 1e-9);
+  // Lookups older than the kept window clamp to the new start instead of
+  // extrapolating from discarded data.
+  EXPECT_NEAR(h.value(0, 0.0), 5.0, 1e-9);
+}
+
+TEST(History, TrimPastTheEndKeepsAtLeastTwoPoints) {
+  History h(1);
+  double v0 = 1.0, v1 = 2.0, v2 = 3.0;
+  h.append(0.0, std::span<const double>(&v0, 1));
+  h.append(1.0, std::span<const double>(&v1, 1));
+  h.append(2.0, std::span<const double>(&v2, 1));
+  h.trim_before(100.0);  // far beyond the last sample
+  // The last two points survive, so interpolation still works.
+  EXPECT_DOUBLE_EQ(h.value(0, 1.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.value(0, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.value(0, 0.0), 2.0);  // clamped to the new start
+}
+
+TEST(History, PhysicalCompactionPreservesValues) {
+  // Long-run path: once the logical start passes the compaction threshold
+  // the buffers are physically erased; lookups must be unaffected.
+  History h(1);
+  for (int i = 0; i <= 10000; ++i) {
+    double v = static_cast<double>(i);
+    h.append(i * 1e-3, std::span<const double>(&v, 1));
+  }
+  h.trim_before(9.0);
+  EXPECT_NEAR(h.value(0, 9.5), 9500.0, 1e-6);
+  EXPECT_NEAR(h.value(0, 10.0), 10000.0, 1e-6);
+  EXPECT_NEAR(h.value(0, 9.0005), 9000.5, 1e-6);
+}
+
 TEST(DdeSolver, ObserverSamplingInterval) {
   DecaySystem sys(1.0);
   DdeSolver solver(sys, {1.0}, 0.0, 1e-3);

@@ -234,5 +234,42 @@ TEST(Port, WireTimestampingRestampsData) {
   EXPECT_EQ(sink.arrivals[1].sent_at, nanoseconds(800.0));
 }
 
+TEST(Simulator, PastScheduleClampsToNowAndIsCounted) {
+  Simulator sim;
+  PicoTime ran_at = -1;
+  sim.schedule_at(100, [&] {
+    // A target time computed from a stale rate register can land in the
+    // past; it must run "now" instead of corrupting event order.
+    sim.schedule_at(40, [&] { ran_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(ran_at, 100);
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.late_schedules(), 1u);
+}
+
+TEST(Simulator, ClampedEventKeepsFifoOrderAmongSameTimeEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(100, [&] {
+    order.push_back(1);
+    sim.schedule_at(50, [&] { order.push_back(3); });  // clamped to t=100
+  });
+  sim.schedule_at(100, [&] { order.push_back(2); });
+  sim.run_all();
+  // The clamped event was scheduled last, so it runs after the pre-existing
+  // t=100 event (FIFO tie-break), never before already-dispatched work.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.late_schedules(), 1u);
+}
+
+TEST(Simulator, FutureSchedulesAreNotCountedLate) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.schedule_at(10, [] {});  // same-time is on time, not late
+  sim.run_all();
+  EXPECT_EQ(sim.late_schedules(), 0u);
+}
+
 }  // namespace
 }  // namespace ecnd::sim
