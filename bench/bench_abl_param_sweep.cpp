@@ -22,7 +22,7 @@ void report(Table& table, const char* label, const exp::FctConfig& config) {
       .cell(result.small.p90_us, 0)
       .cell(result.small.p99_us, 0)
       .cell(result.queue_bytes.mean_over(0.0, 1e9) / 1e3, 1)
-      .cell(result.queue_bytes.max_over(0.0, 1e9) / 1e3, 1);
+      .cell(require_stat(result.queue_bytes.max_over(0.0, 1e9), "queue max") / 1e3, 1);
 }
 
 }  // namespace

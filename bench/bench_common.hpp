@@ -4,10 +4,13 @@
 // series the paper reports (values in our simulator's units), plus compact
 // ASCII charts so the *shape* is visible in the terminal.
 
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/parallel.hpp"
+#include "core/stats.hpp"
 #include "core/table.hpp"
 #include "core/timeseries.hpp"
 
@@ -18,18 +21,32 @@ inline void banner(const std::string& title, const std::string& paper_claim) {
   std::cout << "Paper: " << paper_claim << "\n\n";
 }
 
-/// Render a time series as a one-line sparkline plus summary numbers.
+/// Render a time series as a one-line sparkline plus summary numbers, both
+/// restricted to the [t0, t1] window so the shape and the statistics describe
+/// the same data.
 inline std::string shape_line(const TimeSeries& series, double t0, double t1,
                               double scale = 1e-3) {
-  const TimeSeries rs = series.resampled(64);
+  const TimeSeries rs = series.resampled(64, t0, t1);
   std::vector<double> values;
   values.reserve(rs.size());
   for (const auto& s : rs.samples()) values.push_back(s.value);
   char buf[160];
   std::snprintf(buf, sizeof(buf), "  mean=%8.1f std=%8.1f min=%8.1f max=%8.1f",
                 series.mean_over(t0, t1) * scale, series.stddev_over(t0, t1) * scale,
-                series.min_over(t0, t1) * scale, series.max_over(t0, t1) * scale);
+                require_stat(series.min_over(t0, t1), "shape_line min") * scale,
+                require_stat(series.max_over(t0, t1), "shape_line max") * scale);
   return sparkline(values) + buf;
+}
+
+/// Report a sweep's wall-clock accounting to STDERR: table output on stdout
+/// must stay byte-identical whatever ECND_THREADS is, but the speedup should
+/// still be visible when regenerating figures interactively.
+inline void report_timing(const std::string& label, const par::SweepTiming& t) {
+  std::fprintf(stderr,
+               "[%s] %zu tasks on %zu threads: wall %.2fs (serial-equivalent "
+               "%.2fs, slowest task %.2fs, speedup %.1fx)\n",
+               label.c_str(), t.tasks, t.threads, t.wall_s, t.task_sum_s,
+               t.task_max_s, t.speedup());
 }
 
 }  // namespace ecnd::bench

@@ -35,7 +35,7 @@ int main() {
           .cell(n)
           .cell(result.queue_bytes.mean_over(0.7, 1.0) / 1e3, 1)
           .cell(result.queue_bytes.stddev_over(0.7, 1.0) / 1e3, 1)
-          .cell(jain_fairness(rates), 3)
+          .cell(require_stat(jain_fairness(rates), "jain(rates)"), 3)
           .cell(result.utilization, 3)
           .cell(pi ? "(controller)" : "(profile)");
     }

@@ -8,6 +8,10 @@
 // slope, which the paper's Equations 9/14 implicitly assume) and sweeping
 // the Bode criterion, the same procedure as the paper's Appendix A.
 //
+// Every (parameter, N) cell is an independent linearization, so each grid
+// runs on the parallel sweep engine (ECND_THREADS workers) into pre-sized
+// slots; the printed tables are byte-identical at any thread count.
+//
 // Reproduction note (also in EXPERIMENTS.md): our linearization yields
 // margins that *increase* monotonically with N and decrease with delay —
 // the paper's large-N stabilization and delay sensitivity — while its
@@ -16,11 +20,60 @@
 // a negative linear margin.
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "control/dcqcn_analysis.hpp"
 
 using namespace ecnd;
+
+namespace {
+
+/// One grid point: a parameter value (delay, R_AI or Kmax) crossed with N,
+/// mutated onto the defaults by `apply` below.
+struct GridPoint {
+  double param = 0.0;
+  int num_flows = 0;
+};
+
+/// Sweep margins for param x N on the thread pool; rows print in grid order.
+template <typename Apply>
+void print_margin_grid(const char* label, const char* param_header,
+                       const std::vector<double>& params,
+                       const std::vector<int>& flow_counts, int param_precision,
+                       Apply apply) {
+  std::vector<GridPoint> grid;
+  grid.reserve(params.size() * flow_counts.size());
+  for (double param : params) {
+    for (int n : flow_counts) grid.push_back({param, n});
+  }
+
+  par::SweepTiming timing;
+  const std::vector<double> margins = par::parallel_map(
+      grid,
+      [&](const GridPoint& point) {
+        fluid::DcqcnFluidParams p;
+        p.num_flows = point.num_flows;
+        apply(p, point.param);
+        return control::dcqcn_stability(p).phase_margin_deg;
+      },
+      0, &timing);
+  bench::report_timing(label, timing);
+
+  std::vector<std::string> headers{param_header};
+  for (int n : flow_counts) headers.push_back("N=" + std::to_string(n));
+  Table table(std::move(headers));
+  std::size_t slot = 0;
+  for (double param : params) {
+    table.row().cell(param, param_precision);
+    for (std::size_t c = 0; c < flow_counts.size(); ++c) {
+      table.cell(margins[slot++], 1);
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
 
 int main() {
   bench::banner("Figure 3 - DCQCN phase margin vs flows / R_AI / Kmax",
@@ -29,47 +82,25 @@ int main() {
   const std::vector<int> flow_counts{2, 4, 6, 8, 10, 16, 24, 32, 48, 64, 100};
 
   std::cout << "(a) phase margin [deg] vs N, per control delay\n";
-  Table a({"tau* (us)", "N=2", "N=4", "N=6", "N=8", "N=10", "N=16", "N=24",
-           "N=32", "N=48", "N=64", "N=100"});
-  for (double delay_us : {1.0, 20.0, 50.0, 85.0, 100.0}) {
-    a.row().cell(delay_us, 0);
-    for (int n : flow_counts) {
-      fluid::DcqcnFluidParams p;
-      p.num_flows = n;
-      p.feedback_delay = delay_us * 1e-6;
-      a.cell(control::dcqcn_stability(p).phase_margin_deg, 1);
-    }
-  }
-  a.print(std::cout);
+  print_margin_grid("fig03a", "tau* (us)", {1.0, 20.0, 50.0, 85.0, 100.0},
+                    flow_counts, 0,
+                    [](fluid::DcqcnFluidParams& p, double delay_us) {
+                      p.feedback_delay = delay_us * 1e-6;
+                    });
 
   std::cout << "\n(b) phase margin vs N at tau*=100us, per R_AI\n";
-  Table b({"R_AI (Mb/s)", "N=2", "N=4", "N=6", "N=8", "N=10", "N=16", "N=24",
-           "N=32", "N=48", "N=64", "N=100"});
-  for (double rai : {40.0, 20.0, 10.0, 5.0}) {
-    b.row().cell(rai, 0);
-    for (int n : flow_counts) {
-      fluid::DcqcnFluidParams p;
-      p.num_flows = n;
-      p.feedback_delay = 100e-6;
-      p.rate_ai = mbps(rai);
-      b.cell(control::dcqcn_stability(p).phase_margin_deg, 1);
-    }
-  }
-  b.print(std::cout);
+  print_margin_grid("fig03b", "R_AI (Mb/s)", {40.0, 20.0, 10.0, 5.0},
+                    flow_counts, 0,
+                    [](fluid::DcqcnFluidParams& p, double rai) {
+                      p.feedback_delay = 100e-6;
+                      p.rate_ai = mbps(rai);
+                    });
 
   std::cout << "\n(c) phase margin vs N at tau*=100us, per Kmax\n";
-  Table c({"Kmax (KB)", "N=2", "N=4", "N=6", "N=8", "N=10", "N=16", "N=24",
-           "N=32", "N=48", "N=64", "N=100"});
-  for (double kmax : {200.0, 400.0, 1000.0}) {
-    c.row().cell(kmax, 0);
-    for (int n : flow_counts) {
-      fluid::DcqcnFluidParams p;
-      p.num_flows = n;
-      p.feedback_delay = 100e-6;
-      p.kmax = kilobytes(kmax);
-      c.cell(control::dcqcn_stability(p).phase_margin_deg, 1);
-    }
-  }
-  c.print(std::cout);
+  print_margin_grid("fig03c", "Kmax (KB)", {200.0, 400.0, 1000.0}, flow_counts,
+                    0, [](fluid::DcqcnFluidParams& p, double kmax) {
+                      p.feedback_delay = 100e-6;
+                      p.kmax = kilobytes(kmax);
+                    });
   return 0;
 }

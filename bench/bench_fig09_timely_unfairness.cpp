@@ -53,7 +53,7 @@ int main() {
         .cell(c.label)
         .cell(r0, 2)
         .cell(r1, 2)
-        .cell(jain_fairness({r0, r1}), 3)
+        .cell(require_stat(jain_fairness({r0, r1}), "jain(r0,r1)"), 3)
         .cell(r0 + r1, 2);
     std::cout << c.label << "  flow rates (Gb/s):\n  f0: "
               << bench::shape_line(result.rate_gbps[0], 0.2, 0.3, 1.0)

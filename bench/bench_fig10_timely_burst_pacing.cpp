@@ -53,9 +53,9 @@ int main() {
         .cell(c.label)
         .cell(r0, 2)
         .cell(r1, 2)
-        .cell(jain_fairness({r0, r1}), 3)
+        .cell(require_stat(jain_fairness({r0, r1}), "jain(r0,r1)"), 3)
         .cell(result.utilization, 3)
-        .cell(result.queue_bytes.max_over(0.0, 0.4) / 1e3, 1)
+        .cell(require_stat(result.queue_bytes.max_over(0.0, 0.4), "queue max") / 1e3, 1)
         .cell(early_util, 3);
     std::cout << c.label << "  aggregate rate (Gb/s):\n  "
               << bench::shape_line(result.rate_gbps[0], 0.0, 0.4, 1.0) << "\n";

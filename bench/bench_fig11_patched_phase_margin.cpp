@@ -3,43 +3,75 @@
 // Paper: stable until the number of flows exceeds ~40, then the margin falls
 // rapidly because q* (Equation 31) grows with N, inflating the feedback
 // delay tau' (Equation 24).
+//
+// Each N is an independent fixed-point + linearization, so the column runs
+// on the parallel sweep engine; rows print in N order regardless of which
+// worker finishes first.
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "control/timely_analysis.hpp"
 
 using namespace ecnd;
 
+namespace {
+
+struct MarginRow {
+  int num_flows = 0;
+  control::PatchedTimelyFixedPoint fp;
+  bool interior = false;
+  control::StabilityReport report;
+};
+
+}  // namespace
+
 int main() {
   bench::banner("Figure 11 - Patched TIMELY phase margin vs flow count",
                 "positive margin at moderate N, falls below zero near ~40 flows");
+
+  const std::vector<int> flow_counts{2,  4,  8,  12, 16, 20, 24, 28,
+                                     32, 36, 40, 48, 56, 64, 72};
+
+  par::SweepTiming timing;
+  const std::vector<MarginRow> rows = par::parallel_map(
+      flow_counts,
+      [](int n) {
+        MarginRow row;
+        row.num_flows = n;
+        fluid::TimelyFluidParams p = fluid::patched_timely_defaults();
+        p.num_flows = n;
+        row.fp = control::patched_timely_fixed_point(p);
+        row.interior = row.fp.q_star_pkts < p.qhigh_pkts();
+        if (row.interior) row.report = control::patched_timely_stability(p);
+        return row;
+      },
+      0, &timing);
+  bench::report_timing("fig11", timing);
 
   Table table({"N", "q* (KB)", "tau' at q* (us)", "tau* (us)",
                "phase margin (deg)", "verdict"});
   int zero_crossing = -1;
   double prev_pm = 1e9;
-  for (int n : {2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 48, 56, 64, 72}) {
-    fluid::TimelyFluidParams p = fluid::patched_timely_defaults();
-    p.num_flows = n;
-    const auto fp = control::patched_timely_fixed_point(p);
-    if (fp.q_star_pkts >= p.qhigh_pkts()) {
-      table.row().cell(n).cell(fp.q_star_pkts, 1).cell("-").cell("-").cell("-")
+  for (const MarginRow& row : rows) {
+    if (!row.interior) {
+      table.row().cell(row.num_flows).cell(row.fp.q_star_pkts, 1).cell("-")
+          .cell("-").cell("-")
           .cell("no interior fixed point (q* > C*T_high)");
       continue;
     }
-    const auto report = control::patched_timely_stability(p);
     table.row()
-        .cell(n)
-        .cell(fp.q_star_pkts, 1)
-        .cell(fp.feedback_delay * 1e6, 1)
-        .cell(fp.update_interval * 1e6, 1)
-        .cell(report.phase_margin_deg, 1)
-        .cell(report.stable() ? "stable" : "UNSTABLE");
-    if (prev_pm > 0.0 && report.phase_margin_deg <= 0.0 && zero_crossing < 0) {
-      zero_crossing = n;
+        .cell(row.num_flows)
+        .cell(row.fp.q_star_pkts, 1)
+        .cell(row.fp.feedback_delay * 1e6, 1)
+        .cell(row.fp.update_interval * 1e6, 1)
+        .cell(row.report.phase_margin_deg, 1)
+        .cell(row.report.stable() ? "stable" : "UNSTABLE");
+    if (prev_pm > 0.0 && row.report.phase_margin_deg <= 0.0 && zero_crossing < 0) {
+      zero_crossing = row.num_flows;
     }
-    prev_pm = report.phase_margin_deg;
+    prev_pm = row.report.phase_margin_deg;
   }
   table.print(std::cout);
   if (zero_crossing > 0) {

@@ -58,7 +58,7 @@ int main() {
         .cell(result.queue_bytes.mean_over(0.15, 0.25) / 1e3, 1)
         .cell(fp.q_star_pkts, 1)
         .cell(std_kb, 1)
-        .cell(jain_fairness(rates), 3)
+        .cell(require_stat(jain_fairness(rates), "jain(rates)"), 3)
         .cell(result.utilization, 3)
         .cell(std_kb < 0.25 * fp.q_star_pkts ? "stable" : "UNSTABLE");
   }

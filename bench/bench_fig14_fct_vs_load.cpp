@@ -2,17 +2,31 @@
 // on the Figure-13 dumbbell, for DCQCN, original TIMELY and Patched TIMELY
 // at their papers' default settings (load 1.0 = 8 Gb/s offered).
 //
+// The 12 (load, protocol) runs are independent simulations, so the sweep
+// runs on the parallel engine; rows land in pre-sized slots and print in
+// sweep order, byte-identical at any ECND_THREADS.
+//
 // Expected shape: at higher loads TIMELY's tail FCT blows up (queue grows
 // large and variable); patched TIMELY narrows but does not close the gap;
 // DCQCN stays bounded by the RED band.
 
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "exp/scenarios.hpp"
 
 using namespace ecnd;
+
+namespace {
+
+struct SweepPoint {
+  double load = 0.0;
+  exp::Protocol protocol = exp::Protocol::kDcqcn;
+};
+
+}  // namespace
 
 int main() {
   bench::banner("Figure 14 - small-flow FCT vs load",
@@ -21,27 +35,42 @@ int main() {
   const char* quick = std::getenv("ECND_QUICK");
   const int flows = quick ? 800 : 3000;
 
-  Table table({"load", "protocol", "median (us)", "p90 (us)", "p99 (us)",
-               "small flows", "queue mean (KB)", "drops"});
+  std::vector<SweepPoint> grid;
   for (double load : {0.2, 0.4, 0.6, 0.8}) {
     for (auto protocol : {exp::Protocol::kDcqcn, exp::Protocol::kTimely,
                           exp::Protocol::kPatchedTimely}) {
-      auto config = exp::make_fct_config(protocol, load);
-      config.num_flows = flows;
-      config.seed = 20161212;  // CoNEXT'16
-      const auto result = exp::run_fct_experiment(config);
-      table.row()
-          .cell(load, 1)
-          .cell(exp::protocol_name(protocol))
-          .cell(result.small.median_us, 0)
-          .cell(result.small.p90_us, 0)
-          .cell(result.small.p99_us, 0)
-          .cell(static_cast<long long>(result.small.count))
-          .cell(result.queue_bytes.mean_over(0.0, 1e9) / 1e3, 1)
-          .cell(static_cast<long long>(result.drops));
+      grid.push_back({load, protocol});
     }
   }
+
+  par::SweepTiming timing;
+  const std::vector<exp::FctResult> results = par::parallel_map(
+      grid,
+      [&](const SweepPoint& point) {
+        auto config = exp::make_fct_config(point.protocol, point.load);
+        config.num_flows = flows;
+        config.seed = 20161212;  // CoNEXT'16
+        return exp::run_fct_experiment(config);
+      },
+      0, &timing);
+  bench::report_timing("fig14", timing);
+
+  Table table({"load", "protocol", "median (us)", "p90 (us)", "p99 (us)",
+               "small flows", "queue mean (KB)", "drops"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const exp::FctResult& result = results[i];
+    table.row()
+        .cell(grid[i].load, 1)
+        .cell(exp::protocol_name(grid[i].protocol))
+        .cell(result.small.median_us, 0)
+        .cell(result.small.p90_us, 0)
+        .cell(result.small.p99_us, 0)
+        .cell(static_cast<long long>(result.small.count))
+        .cell(result.queue_bytes.mean_over(0.0, 1e9) / 1e3, 1)
+        .cell(static_cast<long long>(result.drops));
+  }
   table.print(std::cout);
-  std::cout << "\n(set ECND_QUICK=1 for a faster, noisier run)\n";
+  std::cout << "\n(set ECND_QUICK=1 for a faster, noisier run; ECND_THREADS=k"
+               " caps the sweep's workers)\n";
   return 0;
 }

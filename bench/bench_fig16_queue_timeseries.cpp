@@ -37,9 +37,9 @@ int main() {
     table.row()
         .cell(exp::protocol_name(protocol))
         .cell(q.mean_over(0.0, 1e9) / 1e3, 1)
-        .cell(percentile(samples, 50.0) / 1e3, 1)
+        .cell(require_stat(percentile(samples, 50.0), "queue median") / 1e3, 1)
         .cell(q.stddev_over(0.0, 1e9) / 1e3, 1)
-        .cell(q.max_over(0.0, 1e9) / 1e3, 1)
+        .cell(require_stat(q.max_over(0.0, 1e9), "queue max") / 1e3, 1)
         .cell(100.0 * static_cast<double>(above) /
                   static_cast<double>(q.size()), 2);
     std::cout << exp::protocol_name(protocol) << " queue (KB):\n  "

@@ -35,7 +35,7 @@ int main() {
         .cell(mean / 1e3, 1)
         .cell(std / 1e3, 1)
         .cell(std / std::max(mean, 1.0), 2)
-        .cell(result.queue_bytes.min_over(0.1, 0.3) / 1e3, 1)
+        .cell(require_stat(result.queue_bytes.min_over(0.1, 0.3), "queue min") / 1e3, 1)
         .cell(result.utilization, 3);
     std::cout << label << " queue (KB):\n  "
               << bench::shape_line(result.queue_bytes, 0.1, 0.3) << "\n";

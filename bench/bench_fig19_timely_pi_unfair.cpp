@@ -50,7 +50,7 @@ int main() {
         .cell(run.queue_bytes.mean_over(0.8, 1.0) / 1e3, 1)
         .cell(run.queue_bytes.stddev_over(0.8, 1.0) / 1e3, 1)
         .cell(rates)
-        .cell(jain_fairness(finals), 3);
+        .cell(require_stat(jain_fairness(finals), "jain(finals)"), 3);
     std::cout << c.label << " queue (KB): "
               << bench::shape_line(run.queue_bytes, 0.5, 1.0) << "\n";
   }

@@ -2,8 +2,13 @@
 // 100us. ECN feedback is merely *late*; delay feedback is late AND noisy
 // (the jitter lands inside the measured RTT). DCQCN shrugs; (patched)
 // TIMELY destabilizes.
+//
+// The six (jitter, protocol) fluid integrations are independent — each run
+// owns its model, jitter process and traces — so the sweep runs on the
+// parallel engine into pre-sized slots.
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "fluid/dcqcn_model.hpp"
@@ -12,50 +17,77 @@
 
 using namespace ecnd;
 
+namespace {
+
+struct SweepPoint {
+  bool dcqcn = true;
+  double jitter_us = 0.0;
+};
+
+struct RowData {
+  double queue_mean_kb = 0.0;
+  double queue_std_kb = 0.0;
+  double rate0_std_gbps = 0.0;
+  double sum_rate_gbps = 0.0;
+};
+
+RowData reduce(const fluid::FluidRun& run) {
+  RowData row;
+  row.queue_mean_kb = run.queue_bytes.mean_over(0.2, 0.3) / 1e3;
+  row.queue_std_kb = run.queue_bytes.stddev_over(0.2, 0.3) / 1e3;
+  row.rate0_std_gbps = run.flow_rate_gbps[0].stddev_over(0.2, 0.3);
+  row.sum_rate_gbps = run.flow_rate_gbps[0].mean_over(0.2, 0.3) +
+                      run.flow_rate_gbps[1].mean_over(0.2, 0.3);
+  return row;
+}
+
+}  // namespace
+
 int main() {
   bench::banner("Figure 20 - resilience to feedback jitter (fluid models)",
                 "jitter [0,100us]: DCQCN unaffected, TIMELY destabilized");
 
+  std::vector<SweepPoint> grid;
+  for (double jitter_us : {0.0, 50.0, 100.0}) {
+    grid.push_back({true, jitter_us});
+    grid.push_back({false, jitter_us});
+  }
+
+  par::SweepTiming timing;
+  const std::vector<RowData> rows = par::parallel_map(
+      grid,
+      [](const SweepPoint& point) {
+        const fluid::JitterProcess jitter =
+            point.jitter_us > 0.0
+                ? fluid::JitterProcess(point.jitter_us * 1e-6, 20e-6, 4242)
+                : fluid::JitterProcess();
+        if (point.dcqcn) {
+          fluid::DcqcnFluidParams p;
+          p.num_flows = 2;
+          p.feedback_delay = 4e-6;
+          p.feedback_jitter = jitter;
+          fluid::DcqcnFluidModel model(p);
+          return reduce(fluid::simulate(model, 0.3, 2e-4));
+        }
+        fluid::TimelyFluidParams p = fluid::patched_timely_defaults();
+        p.num_flows = 2;
+        p.feedback_jitter = jitter;
+        fluid::PatchedTimelyFluidModel model(p);
+        return reduce(fluid::simulate(model, 0.3, 2e-4));
+      },
+      0, &timing);
+  bench::report_timing("fig20", timing);
+
   Table table({"protocol", "jitter", "queue mean (KB)", "queue std (KB)",
                "rate0 std (Gb/s)", "sum rate (Gb/s)"});
-
-  for (double jitter_us : {0.0, 50.0, 100.0}) {
-    const fluid::JitterProcess jitter =
-        jitter_us > 0.0 ? fluid::JitterProcess(jitter_us * 1e-6, 20e-6, 4242)
-                        : fluid::JitterProcess();
-    {
-      fluid::DcqcnFluidParams p;
-      p.num_flows = 2;
-      p.feedback_delay = 4e-6;
-      p.feedback_jitter = jitter;
-      fluid::DcqcnFluidModel model(p);
-      const auto run = fluid::simulate(model, 0.3, 2e-4);
-      const double sum = run.flow_rate_gbps[0].mean_over(0.2, 0.3) +
-                         run.flow_rate_gbps[1].mean_over(0.2, 0.3);
-      table.row()
-          .cell("DCQCN")
-          .cell(jitter_us, 0)
-          .cell(run.queue_bytes.mean_over(0.2, 0.3) / 1e3, 1)
-          .cell(run.queue_bytes.stddev_over(0.2, 0.3) / 1e3, 2)
-          .cell(run.flow_rate_gbps[0].stddev_over(0.2, 0.3), 3)
-          .cell(sum, 2);
-    }
-    {
-      fluid::TimelyFluidParams p = fluid::patched_timely_defaults();
-      p.num_flows = 2;
-      p.feedback_jitter = jitter;
-      fluid::PatchedTimelyFluidModel model(p);
-      const auto run = fluid::simulate(model, 0.3, 2e-4);
-      const double sum = run.flow_rate_gbps[0].mean_over(0.2, 0.3) +
-                         run.flow_rate_gbps[1].mean_over(0.2, 0.3);
-      table.row()
-          .cell("Patched TIMELY")
-          .cell(jitter_us, 0)
-          .cell(run.queue_bytes.mean_over(0.2, 0.3) / 1e3, 1)
-          .cell(run.queue_bytes.stddev_over(0.2, 0.3) / 1e3, 2)
-          .cell(run.flow_rate_gbps[0].stddev_over(0.2, 0.3), 3)
-          .cell(sum, 2);
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    table.row()
+        .cell(grid[i].dcqcn ? "DCQCN" : "Patched TIMELY")
+        .cell(grid[i].jitter_us, 0)
+        .cell(rows[i].queue_mean_kb, 1)
+        .cell(rows[i].queue_std_kb, 2)
+        .cell(rows[i].rate0_std_gbps, 3)
+        .cell(rows[i].sum_rate_gbps, 2);
   }
   table.print(std::cout);
   std::cout << "\nDelay-based control sees the jitter twice: as staleness and"

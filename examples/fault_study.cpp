@@ -8,7 +8,10 @@
 // them back together and fairness collapses.
 //
 // Runs are deterministic: the fault injector draws from its own seeded RNG
-// stream, so the same arguments always produce byte-identical CSV.
+// stream, so the same arguments always produce byte-identical CSV. The
+// (protocol, loss) grid runs on the parallel sweep engine — each run owns
+// its network, injector and traces — and rows print from pre-sized slots,
+// so the CSV is also byte-identical at any ECND_THREADS.
 //
 // Usage: fault_study [flows] [duration_s] [seed]
 
@@ -17,6 +20,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "core/stats.hpp"
 #include "exp/scenarios.hpp"
 
@@ -68,12 +72,13 @@ Row run_one(exp::Protocol protocol, double loss, int flows, double duration_s,
   for (const auto& series : result.rate_gbps) {
     tail_rates.push_back(series.mean_over(0.7 * duration_s, duration_s));
   }
-  row.jain = jain_fairness(tail_rates);
+  row.jain = require_stat(jain_fairness(tail_rates), "jain(tail_rates)");
   row.min_rate_gbps = tail_rates.empty() ? 0.0 : *std::min_element(tail_rates.begin(), tail_rates.end());
   row.max_rate_gbps = tail_rates.empty() ? 0.0 : *std::max_element(tail_rates.begin(), tail_rates.end());
   row.utilization = result.utilization;
   row.queue_mean_kb = result.queue_bytes.mean_over(0.0, duration_s) / 1e3;
-  row.queue_max_kb = result.queue_bytes.max_over(0.0, duration_s) / 1e3;
+  row.queue_max_kb =
+      require_stat(result.queue_bytes.max_over(0.0, duration_s), "queue max") / 1e3;
   row.feedback_dropped =
       result.faults.cnps_dropped + result.faults.acks_dropped;
   return row;
@@ -85,9 +90,33 @@ int main(int argc, char** argv) {
   const int flows = argc > 1 ? std::atoi(argv[1]) : 10;
   const double duration_s = argc > 2 ? std::atof(argv[2]) : 0.1;
   const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  if (flows <= 0 || duration_s <= 0.0) {
+    std::fprintf(stderr,
+                 "usage: fault_study [flows > 0] [duration_s > 0] [seed]\n"
+                 "(a run with no flows has no fairness to report)\n");
+    return 2;
+  }
 
   const std::vector<double> losses = {0.0, 0.001, 0.005, 0.01, 0.02, 0.05};
-  std::vector<Row> rows;
+  std::vector<std::pair<exp::Protocol, double>> grid;
+  for (exp::Protocol protocol :
+       {exp::Protocol::kDcqcn, exp::Protocol::kTimely}) {
+    for (double loss : losses) grid.emplace_back(protocol, loss);
+  }
+
+  par::SweepTiming timing;
+  const std::vector<Row> rows = par::parallel_map(
+      grid,
+      [&](const std::pair<exp::Protocol, double>& cell) {
+        return run_one(cell.first, cell.second, flows, duration_s, seed);
+      },
+      0, &timing);
+  std::fprintf(stderr,
+               "[fault_study] %zu runs on %zu threads: wall %.2fs "
+               "(serial-equivalent %.2fs)\n",
+               timing.tasks, timing.threads, timing.wall_s, timing.task_sum_s);
+
+  std::size_t slot = 0;
   for (exp::Protocol protocol :
        {exp::Protocol::kDcqcn, exp::Protocol::kTimely}) {
     std::printf("%s, %d flows, %.3gs, seed %llu: feedback loss sweep\n",
@@ -96,14 +125,13 @@ int main(int argc, char** argv) {
     std::printf("  %7s  %6s  %9s  %9s  %5s  %10s  %9s  %8s\n", "loss", "jain",
                 "min Gb/s", "max Gb/s", "util", "queue KB", "max KB",
                 "dropped");
-    for (double loss : losses) {
-      const Row row = run_one(protocol, loss, flows, duration_s, seed);
+    for (std::size_t i = 0; i < losses.size(); ++i) {
+      const Row& row = rows[slot++];
       std::printf(
           "  %6.2f%%  %6.4f  %9.3f  %9.3f  %5.2f  %10.1f  %9.1f  %8llu\n",
-          loss * 100.0, row.jain, row.min_rate_gbps, row.max_rate_gbps,
+          row.loss * 100.0, row.jain, row.min_rate_gbps, row.max_rate_gbps,
           row.utilization, row.queue_mean_kb, row.queue_max_kb,
           static_cast<unsigned long long>(row.feedback_dropped));
-      rows.push_back(row);
     }
     std::printf("\n");
   }

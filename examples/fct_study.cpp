@@ -23,6 +23,12 @@ int main(int argc, char** argv) {
   const double load = argc > 2 ? std::atof(argv[2]) : 0.6;
   const int flows = argc > 3 ? std::atoi(argv[3]) : 1500;
   const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  if (load <= 0.0 || flows <= 0) {
+    std::fprintf(stderr,
+                 "usage: fct_study [dcqcn|timely|patched] [load > 0] "
+                 "[flows > 0] [seed]\n");
+    return 2;
+  }
 
   auto config = exp::make_fct_config(protocol, load);
   config.num_flows = flows;
@@ -40,7 +46,7 @@ int main(int argc, char** argv) {
               result.overall.median_us, result.overall.p99_us);
   std::printf("bottleneck queue: mean %.1f KB, max %.1f KB\n",
               result.queue_bytes.mean_over(0.0, 1e9) / 1e3,
-              result.queue_bytes.max_over(0.0, 1e9) / 1e3);
+              require_stat(result.queue_bytes.max_over(0.0, 1e9), "queue max") / 1e3);
   std::printf("drops: %llu, all completed: %s\n",
               static_cast<unsigned long long>(result.drops),
               result.all_completed ? "yes" : "NO");

@@ -3,28 +3,50 @@
 # plain (the gate CI enforces), then with ECND_SANITIZE=ON so ASan+UBSan sweep
 # the same tests for memory and UB bugs the plain run can't see.
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+# The plain suite runs twice, under ECND_THREADS=1 and ECND_THREADS=4: the
+# sweep engine promises results are a function of the grid, not of the
+# scheduler, and the cheapest way to keep that promise honest is to run every
+# test on both the serial and the threaded path.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-run_suite() {
+build_suite() {
   local build_dir="$1"; shift
   cmake -B "$build_dir" -S . "$@"
   cmake --build "$build_dir" -j
-  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+run_tests() {
+  local build_dir="$1" threads="$2"
+  echo "-- ctest ($build_dir, ECND_THREADS=$threads)"
+  ECND_THREADS="$threads" ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 }
 
 mode="${1:-all}"
 
-if [[ "$mode" != "--sanitize-only" ]]; then
-  echo "== plain build + tests =="
-  run_suite build
+if [[ "$mode" != "--sanitize-only" && "$mode" != "--tsan-only" ]]; then
+  echo "== plain build + tests (serial and threaded sweep paths) =="
+  build_suite build
+  run_tests build 1
+  run_tests build 4
 fi
 
-if [[ "$mode" != "--plain-only" ]]; then
+if [[ "$mode" == "all" || "$mode" == "--sanitize-only" ]]; then
   echo "== ASan+UBSan build + tests =="
-  run_suite build-sanitize -DECND_SANITIZE=ON
+  build_suite build-sanitize -DECND_SANITIZE=ON
+  run_tests build-sanitize 4
+fi
+
+# TSan is opt-in (--tsan-only): it needs its own build tree and roughly 5-15x
+# slower tests, but it is the tool that actually sees data races in the
+# parallel sweep engine — run it after touching src/core/parallel.*.
+if [[ "$mode" == "--tsan-only" ]]; then
+  echo "== ThreadSanitizer build + tests =="
+  build_suite build-tsan -DECND_TSAN=ON
+  run_tests build-tsan 4
 fi
 
 echo "check.sh: all requested suites passed"

@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic parallel sweep engine.
+//
+// Every figure harness sweeps a grid of independent scenario runs (N x delay
+// phase-margin grids, load x protocol FCT sweeps, loss x protocol fault
+// sweeps). parallel_for_each / parallel_map distribute those tasks over a
+// small thread pool while keeping the results bit-identical to a serial run:
+//
+//  * each task writes into its own pre-sized result slot, so output order is
+//    the grid order, never the completion order;
+//  * all randomness a task needs is derived from task_seed(base, index) — a
+//    SplitMix64 finalizer over base_seed ^ index — so streams depend only on
+//    the task's grid position, never on which thread picked it up;
+//  * no shared mutable state crosses task boundaries (Rng, Table, TimeSeries
+//    and Diagnostic are all plain per-instance values; tasks must confine
+//    their state the same way and merge after the join).
+//
+// Thread count resolves from the ECND_THREADS environment variable (or the
+// explicit `threads` argument); 1 runs the tasks inline on the calling
+// thread — the old serial path, useful as a determinism baseline and when
+// debugging. The first exception thrown by any task (e.g. an
+// InvariantViolation from a guard) is rethrown on the calling thread after
+// all workers drain.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ecnd::par {
+
+/// Worker count a sweep with threads=0 will use: ECND_THREADS when set to a
+/// positive integer, else std::thread::hardware_concurrency() (min 1). Read
+/// from the environment on every call so tests can flip it at runtime.
+std::size_t thread_count();
+
+/// Deterministic per-task seed: SplitMix64 finalization of base_seed ^ task
+/// index. Distinct tasks get well-separated streams, the same task always
+/// gets the same stream, and nearby base seeds do not collide across tasks.
+std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t task_index);
+
+/// Wall-clock accounting for one sweep (reported by the benches to stderr so
+/// table output stays byte-identical across thread counts).
+struct SweepTiming {
+  std::size_t tasks = 0;
+  std::size_t threads = 1;
+  double wall_s = 0.0;      ///< whole-sweep wall clock
+  double task_sum_s = 0.0;  ///< sum of per-task wall clocks (~serial cost)
+  double task_max_s = 0.0;  ///< slowest single task (parallel lower bound)
+
+  /// Effective speedup vs running the same tasks serially.
+  double speedup() const { return wall_s > 0.0 ? task_sum_s / wall_s : 1.0; }
+};
+
+/// Run fn(0), ..., fn(count-1), distributing indices over `threads` workers
+/// (0 = thread_count()). Tasks are claimed dynamically, so uneven task costs
+/// balance; determinism must come from the task body (write only to slot i,
+/// seed only from task_seed). threads==1 runs inline, no threads spawned.
+SweepTiming parallel_for_each(std::size_t count,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t threads = 0);
+
+/// Map `items` through `fn` into a same-order result vector. The result type
+/// must be default-constructible (slots are pre-sized before the sweep).
+/// `timing`, when non-null, receives the sweep's wall-clock accounting.
+template <typename Item, typename Fn>
+auto parallel_map(const std::vector<Item>& items, Fn fn,
+                  std::size_t threads = 0, SweepTiming* timing = nullptr) {
+  using Result = decltype(fn(items.front()));
+  std::vector<Result> out(items.size());
+  const SweepTiming t = parallel_for_each(
+      items.size(), [&](std::size_t i) { out[i] = fn(items[i]); }, threads);
+  if (timing) *timing = t;
+  return out;
+}
+
+}  // namespace ecnd::par

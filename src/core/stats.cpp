@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/diagnostic.hpp"
+
 namespace ecnd {
 
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
+std::optional<double> percentile(std::vector<double> values, double p) {
+  if (values.empty()) return std::nullopt;
   std::sort(values.begin(), values.end());
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
@@ -16,15 +18,25 @@ double percentile(std::vector<double> values, double p) {
   return values[lo] + frac * (values[hi] - values[lo]);
 }
 
-double jain_fairness(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
+std::optional<double> jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return std::nullopt;
   double sum = 0.0, sum2 = 0.0;
   for (double v : values) {
     sum += v;
     sum2 += v * v;
   }
-  if (sum2 <= 0.0) return 0.0;
+  if (sum2 <= 0.0) return std::nullopt;
   return sum * sum / (static_cast<double>(values.size()) * sum2);
+}
+
+double require_stat(const std::optional<double>& value, const std::string& what) {
+  if (!value) {
+    throw InvariantViolation(Diagnostic::make(
+        "stats", what, 0.0, 0.0,
+        "statistic over empty input — a run produced no samples where the "
+        "harness expected a population"));
+  }
+  return *value;
 }
 
 std::vector<CdfPoint> empirical_cdf(std::vector<double> values, std::size_t max_points) {

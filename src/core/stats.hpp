@@ -3,22 +3,32 @@
 // Jain's fairness index and streaming summaries.
 
 #include <cstddef>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace ecnd {
 
 /// p-th percentile (p in [0,100]) by linear interpolation between closest
-/// ranks. The input need not be sorted; an empty input yields 0.
-double percentile(std::vector<double> values, double p);
+/// ranks. The input need not be sorted. An empty population has no
+/// percentiles: the result is nullopt, never a plausible-looking 0.
+std::optional<double> percentile(std::vector<double> values, double p);
 
 /// Median shorthand.
-inline double median(std::vector<double> values) {
+inline std::optional<double> median(std::vector<double> values) {
   return percentile(std::move(values), 50.0);
 }
 
 /// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly
-/// fair. Empty or all-zero input yields 0.
-double jain_fairness(const std::vector<double>& values);
+/// fair. Empty and all-zero inputs are undefined (0/0) and yield nullopt.
+std::optional<double> jain_fairness(const std::vector<double>& values);
+
+/// Unwrap an optional statistic where a value is required for a table row.
+/// An empty input dies loudly with an InvariantViolation whose Diagnostic
+/// names the statistic, instead of letting a silent 0.0 pose as a
+/// measurement; `what` should identify the statistic and its source, e.g.
+/// "jain(tail_rates)".
+double require_stat(const std::optional<double>& value, const std::string& what);
 
 /// One point of an empirical CDF.
 struct CdfPoint {

@@ -47,22 +47,18 @@ void for_window(const std::vector<Sample>& samples, double t0, double t1, Fn&& f
 
 }  // namespace
 
-double TimeSeries::min_over(double t0, double t1) const {
-  double m = 0.0;
-  bool any = false;
+std::optional<double> TimeSeries::min_over(double t0, double t1) const {
+  std::optional<double> m;
   for_window(samples_, t0, t1, [&](const Sample& s) {
-    m = any ? std::min(m, s.value) : s.value;
-    any = true;
+    m = m ? std::min(*m, s.value) : s.value;
   });
   return m;
 }
 
-double TimeSeries::max_over(double t0, double t1) const {
-  double m = 0.0;
-  bool any = false;
+std::optional<double> TimeSeries::max_over(double t0, double t1) const {
+  std::optional<double> m;
   for_window(samples_, t0, t1, [&](const Sample& s) {
-    m = any ? std::max(m, s.value) : s.value;
-    any = true;
+    m = m ? std::max(*m, s.value) : s.value;
   });
   return m;
 }
@@ -84,24 +80,45 @@ double TimeSeries::mean_over(double t0, double t1) const {
 }
 
 double TimeSeries::stddev_over(double t0, double t1) const {
-  double sum = 0.0, sum2 = 0.0;
-  std::size_t n = 0;
-  for_window(samples_, t0, t1, [&](const Sample& s) {
-    sum += s.value;
-    sum2 += s.value * s.value;
-    ++n;
-  });
-  if (n == 0) return 0.0;
-  const double mean = sum / static_cast<double>(n);
-  const double var = std::max(0.0, sum2 / static_cast<double>(n) - mean * mean);
-  return std::sqrt(var);
+  // Trapezoidal integral of (x - mean)^2 about the trapezoidal mean, matching
+  // mean_over's weighting: a dense burst of samples contributes by the time
+  // it covers, not by its sample count. Degenerate spans (<2 samples, or all
+  // samples at one instant) fall back to the plain sample deviation.
+  std::vector<Sample> window;
+  for_window(samples_, t0, t1, [&](const Sample& s) { window.push_back(s); });
+  if (window.size() < 2) return 0.0;
+  const double span = window.back().t - window.front().t;
+  if (span <= 0.0) {
+    double sum = 0.0, sum2 = 0.0;
+    for (const Sample& s : window) {
+      sum += s.value;
+      sum2 += s.value * s.value;
+    }
+    const double n = static_cast<double>(window.size());
+    const double mean = sum / n;
+    return std::sqrt(std::max(0.0, sum2 / n - mean * mean));
+  }
+  const double mean = mean_over(t0, t1);
+  double area = 0.0;
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    const double dt = window[i].t - window[i - 1].t;
+    const double d0 = window[i - 1].value - mean;
+    const double d1 = window[i].value - mean;
+    area += 0.5 * (d0 * d0 + d1 * d1) * dt;
+  }
+  return std::sqrt(std::max(0.0, area / span));
 }
 
 TimeSeries TimeSeries::resampled(std::size_t n) const {
+  return resampled(n, first_time(), last_time());
+}
+
+TimeSeries TimeSeries::resampled(std::size_t n, double t0, double t1) const {
   TimeSeries out(name_);
   if (samples_.empty() || n == 0) return out;
-  const double t0 = first_time();
-  const double t1 = last_time();
+  t0 = std::max(t0, first_time());
+  t1 = std::min(t1, last_time());
+  if (t1 < t0) return out;
   if (n == 1 || t1 <= t0) {
     out.push(t0, value_at(t0));
     return out;

@@ -3,6 +3,7 @@
 // and the packet simulator (queue sampling, per-flow throughput traces).
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,16 +40,24 @@ class TimeSeries {
   /// Linear interpolation at time t (clamped to the series' span).
   double value_at(double t) const;
 
-  /// Statistics over samples with t in [t0, t1]; empty window -> 0s.
-  double min_over(double t0, double t1) const;
-  double max_over(double t0, double t1) const;
-  /// Time-weighted mean over [t0, t1] (trapezoidal).
+  /// Extremes over samples with t in [t0, t1]. An empty window is not a
+  /// measurement: it yields nullopt, never a fake 0.0 (use
+  /// require_stat() from core/stats.hpp where a value is mandatory).
+  std::optional<double> min_over(double t0, double t1) const;
+  std::optional<double> max_over(double t0, double t1) const;
+  /// Time-weighted mean over [t0, t1] (trapezoidal); empty window -> 0.
   double mean_over(double t0, double t1) const;
-  /// Population standard deviation of sample values with t in [t0, t1].
+  /// Time-weighted population standard deviation over [t0, t1]: trapezoidal
+  /// integral of the squared deviation about the trapezoidal mean, so
+  /// unevenly sampled traces are not biased toward burst regions. Empty or
+  /// single-sample window -> 0.
   double stddev_over(double t0, double t1) const;
 
   /// Evenly resampled copy with n points across the full span.
   TimeSeries resampled(std::size_t n) const;
+  /// Evenly resampled copy with n points across [t0, t1] (clamped to the
+  /// series' span), so a rendering matches windowed statistics.
+  TimeSeries resampled(std::size_t n, double t0, double t1) const;
 
   /// Keep at most every k-th sample (decimation for long traces). k >= 1.
   void decimate(std::size_t k);

@@ -1,5 +1,7 @@
 #include "workload/fct_stats.hpp"
 
+#include <limits>
+
 namespace ecnd::workload {
 
 std::vector<double> fcts_us(const std::vector<sim::FlowRecord>& records,
@@ -16,13 +18,20 @@ std::vector<double> fcts_us(const std::vector<sim::FlowRecord>& records,
 FctSummary summarize(std::vector<double> fcts) {
   FctSummary s;
   s.count = fcts.size();
-  if (fcts.empty()) return s;
+  if (fcts.empty()) {
+    // An empty population has no FCT statistics. NaN renders as "nan" in the
+    // tables — visibly not a measurement — where a 0 µs tail would read as an
+    // implausibly perfect result.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    s.mean_us = s.median_us = s.p90_us = s.p99_us = nan;
+    return s;
+  }
   double sum = 0.0;
   for (double v : fcts) sum += v;
   s.mean_us = sum / static_cast<double>(fcts.size());
-  s.median_us = percentile(fcts, 50.0);
-  s.p90_us = percentile(fcts, 90.0);
-  s.p99_us = percentile(std::move(fcts), 99.0);
+  s.median_us = *percentile(fcts, 50.0);
+  s.p90_us = *percentile(fcts, 90.0);
+  s.p99_us = *percentile(std::move(fcts), 99.0);
   return s;
 }
 

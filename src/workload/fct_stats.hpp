@@ -10,6 +10,7 @@ namespace ecnd::workload {
 
 struct FctSummary {
   std::size_t count = 0;
+  /// NaN when count == 0 (an empty population has no statistics).
   double mean_us = 0.0;
   double median_us = 0.0;
   double p90_us = 0.0;

@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "core/diagnostic.hpp"
+
 namespace ecnd {
 namespace {
 
-TEST(Percentile, EmptyYieldsZero) { EXPECT_EQ(percentile({}, 50.0), 0.0); }
+TEST(Percentile, EmptyIsNotAMeasurement) {
+  EXPECT_FALSE(percentile({}, 50.0).has_value());
+  EXPECT_FALSE(median({}).has_value());
+}
 
 TEST(Percentile, SingleValue) {
   EXPECT_EQ(percentile({4.0}, 0.0), 4.0);
@@ -18,17 +23,17 @@ TEST(Percentile, MedianOfOddCount) {
 }
 
 TEST(Percentile, MedianInterpolatesEvenCount) {
-  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(*median({1.0, 2.0, 3.0, 4.0}), 2.5);
 }
 
 TEST(Percentile, UnsortedInputHandled) {
-  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0, 3.0, 7.0}, 100.0), 9.0);
-  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0, 3.0, 7.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*percentile({9.0, 1.0, 5.0, 3.0, 7.0}, 100.0), 9.0);
+  EXPECT_DOUBLE_EQ(*percentile({9.0, 1.0, 5.0, 3.0, 7.0}, 0.0), 1.0);
 }
 
 TEST(Percentile, LinearInterpolationBetweenRanks) {
   // ranks 0..3 -> p90 = rank 2.7 between 30 and 40.
-  EXPECT_NEAR(percentile({10.0, 20.0, 30.0, 40.0}, 90.0), 37.0, 1e-9);
+  EXPECT_NEAR(*percentile({10.0, 20.0, 30.0, 40.0}, 90.0), 37.0, 1e-9);
 }
 
 TEST(Percentile, ClampsOutOfRangeP) {
@@ -37,65 +42,41 @@ TEST(Percentile, ClampsOutOfRangeP) {
 }
 
 TEST(JainFairness, PerfectlyFair) {
-  EXPECT_DOUBLE_EQ(jain_fairness({5.0, 5.0, 5.0, 5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(*jain_fairness({5.0, 5.0, 5.0, 5.0}), 1.0);
 }
 
 TEST(JainFairness, SingleFlowIsFairByDefinition) {
-  EXPECT_DOUBLE_EQ(jain_fairness({3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(*jain_fairness({3.0}), 1.0);
 }
 
 TEST(JainFairness, TotallyUnfairApproaches1OverN) {
-  const double j = jain_fairness({10.0, 0.0, 0.0, 0.0});
+  const double j = jain_fairness({10.0, 0.0, 0.0, 0.0}).value();
   EXPECT_NEAR(j, 0.25, 1e-12);
 }
 
-TEST(JainFairness, EmptyAndZeroInputs) {
-  EXPECT_EQ(jain_fairness({}), 0.0);
-  EXPECT_EQ(jain_fairness({0.0, 0.0}), 0.0);
+TEST(JainFairness, EmptyAndAllZeroAreUndefined) {
+  // Both are 0/0: no flows (or no traffic) has no fairness, fair or unfair.
+  EXPECT_FALSE(jain_fairness({}).has_value());
+  EXPECT_FALSE(jain_fairness({0.0, 0.0}).has_value());
 }
 
 TEST(JainFairness, KnownTwoFlowValue) {
   // (1+3)^2 / (2*(1+9)) = 16/20.
-  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 3.0}), 0.8);
+  EXPECT_DOUBLE_EQ(*jain_fairness({1.0, 3.0}), 0.8);
 }
 
-TEST(EmpiricalCdf, EndpointsAndMonotonicity) {
-  auto cdf = empirical_cdf({5.0, 1.0, 3.0, 2.0, 4.0}, 5);
-  ASSERT_EQ(cdf.size(), 5u);
-  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
-  EXPECT_DOUBLE_EQ(cdf.back().value, 5.0);
-  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
-  for (std::size_t i = 1; i < cdf.size(); ++i) {
-    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
-    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+TEST(RequireStat, PassesValuesThrough) {
+  EXPECT_DOUBLE_EQ(require_stat(1.25, "x"), 1.25);
+}
+
+TEST(RequireStat, EmptyThrowsDiagnostic) {
+  try {
+    require_stat(jain_fairness({}), "jain(tail_rates)");
+    FAIL() << "require_stat accepted an empty statistic";
+  } catch (const InvariantViolation& e) {
+    EXPECT_EQ(e.diagnostic().component, "stats");
+    EXPECT_EQ(e.diagnostic().variable, "jain(tail_rates)");
   }
-}
-
-TEST(EmpiricalCdf, ReducesLargePopulations) {
-  std::vector<double> v;
-  for (int i = 0; i < 10000; ++i) v.push_back(static_cast<double>(i));
-  auto cdf = empirical_cdf(v, 64);
-  EXPECT_EQ(cdf.size(), 64u);
-  EXPECT_DOUBLE_EQ(cdf.back().value, 9999.0);
-}
-
-TEST(EmpiricalCdf, EmptyInput) { EXPECT_TRUE(empirical_cdf({}, 8).empty()); }
-
-TEST(RunningStats, BasicMoments) {
-  RunningStats s;
-  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
-  EXPECT_EQ(s.count(), 8u);
-  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-  EXPECT_DOUBLE_EQ(s.min(), 2.0);
-  EXPECT_DOUBLE_EQ(s.max(), 9.0);
-  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
-}
-
-TEST(RunningStats, EmptyIsZero) {
-  RunningStats s;
-  EXPECT_EQ(s.count(), 0u);
-  EXPECT_EQ(s.mean(), 0.0);
-  EXPECT_EQ(s.stddev(), 0.0);
 }
 
 }  // namespace

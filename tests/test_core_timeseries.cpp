@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace ecnd {
 namespace {
 
@@ -34,8 +36,8 @@ TEST(TimeSeries, ValueAtClampsOutsideSpan) {
 
 TEST(TimeSeries, WindowExtremes) {
   TimeSeries ts = ramp();
-  EXPECT_DOUBLE_EQ(ts.min_over(0.25, 0.85), 3.0);
-  EXPECT_DOUBLE_EQ(ts.max_over(0.25, 0.85), 8.0);
+  EXPECT_DOUBLE_EQ(ts.min_over(0.25, 0.85).value(), 3.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(0.25, 0.85).value(), 8.0);
 }
 
 TEST(TimeSeries, MeanOverIsTimeWeighted) {
@@ -58,6 +60,28 @@ TEST(TimeSeries, StddevDetectsOscillation) {
   TimeSeries ts;
   for (int i = 0; i < 100; ++i) ts.push(i, i % 2 ? 1.0 : -1.0);
   EXPECT_NEAR(ts.stddev_over(0.0, 99.0), 1.0, 1e-9);
+}
+
+TEST(TimeSeries, StddevIsTimeWeightedOnUnevenGrid) {
+  // Nine quiet seconds, then a one-second burst to 6. Sample-weighted std
+  // counts the burst as a third of the data (std = sqrt(8) ~ 2.83); the
+  // time-weighted std counts it as a tenth of the span.
+  TimeSeries ts;
+  ts.push(0.0, 0.0);
+  ts.push(9.0, 0.0);
+  ts.push(10.0, 6.0);
+  // mean = 0.3; trapezoid of (x-0.3)^2 = 0.5*(0.09+0.09)*9
+  //   + 0.5*(0.09+32.49)*1 = 17.1; std = sqrt(17.1/10).
+  EXPECT_NEAR(ts.stddev_over(0.0, 10.0), std::sqrt(1.71), 1e-12);
+  EXPECT_LT(ts.stddev_over(0.0, 10.0), 2.0);  // well below sample-weighted 2.83
+}
+
+TEST(TimeSeries, StddevOfEvenGridMatchesSampleStd) {
+  // On an evenly sampled symmetric series the time weighting reduces to the
+  // plain sample weighting (each interior sample gets weight dt).
+  TimeSeries ts;
+  for (int i = 0; i < 50; ++i) ts.push(i, i % 2 ? 3.0 : 1.0);
+  EXPECT_NEAR(ts.stddev_over(0.0, 49.0), 1.0, 1e-9);
 }
 
 TEST(TimeSeries, ResampleUniformGrid) {
@@ -84,10 +108,28 @@ TEST(TimeSeries, DecimateNoOpForSmallK) {
   EXPECT_EQ(ts.size(), n);
 }
 
-TEST(TimeSeries, WindowOutsideDataIsZero) {
+TEST(TimeSeries, WindowOutsideDataHasNoExtremes) {
   TimeSeries ts = ramp();
   EXPECT_EQ(ts.mean_over(5.0, 6.0), 0.0);
-  EXPECT_EQ(ts.max_over(5.0, 6.0), 0.0);
+  EXPECT_FALSE(ts.min_over(5.0, 6.0).has_value());
+  EXPECT_FALSE(ts.max_over(5.0, 6.0).has_value());
+}
+
+TEST(TimeSeries, WindowedResampleMatchesWindow) {
+  TimeSeries ts = ramp();  // t in [0, 1], value = 10t
+  const TimeSeries rs = ts.resampled(5, 0.2, 0.6);
+  ASSERT_EQ(rs.size(), 5u);
+  EXPECT_DOUBLE_EQ(rs[0].t, 0.2);
+  EXPECT_DOUBLE_EQ(rs[4].t, 0.6);
+  EXPECT_NEAR(rs[2].value, 4.0, 1e-9);
+}
+
+TEST(TimeSeries, WindowedResampleClampsToSpan) {
+  TimeSeries ts = ramp();
+  const TimeSeries rs = ts.resampled(3, -5.0, 99.0);
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_DOUBLE_EQ(rs[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(rs[2].t, 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,137 @@
+// Determinism suite for the parallel sweep engine (PR 2): the same sweep run
+// at ECND_THREADS=1 and ECND_THREADS=8 must produce bit-identical CSV, both
+// for the deterministic fluid layer and for the seeded packet simulator.
+// Thread count may change *scheduling*, never *results* — per-task seeds are
+// derived from (base_seed, task_index), results land in pre-sized slots, and
+// rows print in grid order.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/table.hpp"
+#include "exp/scenarios.hpp"
+#include "fluid/dcqcn_model.hpp"
+#include "fluid/fluid_model.hpp"
+
+namespace ecnd {
+namespace {
+
+/// Fluid phase-margin/queue sweep over (N, feedback delay), rendered as CSV.
+std::string fluid_sweep_csv(std::size_t threads) {
+  struct Cell {
+    int num_flows = 0;
+    double delay_us = 0.0;
+  };
+  std::vector<Cell> grid;
+  for (int n : {2, 4, 10}) {
+    for (double delay_us : {4.0, 50.0}) grid.push_back({n, delay_us});
+  }
+
+  struct Reduced {
+    double queue_mean_kb = 0.0;
+    double queue_std_kb = 0.0;
+    double rate0_gbps = 0.0;
+  };
+  const std::vector<Reduced> rows = par::parallel_map(
+      grid,
+      [](const Cell& cell) {
+        fluid::DcqcnFluidParams p;
+        p.num_flows = cell.num_flows;
+        p.feedback_delay = cell.delay_us * 1e-6;
+        fluid::DcqcnFluidModel model(p);
+        const fluid::FluidRun run = fluid::simulate(model, 0.06, 2e-4);
+        Reduced r;
+        r.queue_mean_kb = run.queue_bytes.mean_over(0.03, 0.06) / 1e3;
+        r.queue_std_kb = run.queue_bytes.stddev_over(0.03, 0.06) / 1e3;
+        r.rate0_gbps = run.flow_rate_gbps[0].mean_over(0.03, 0.06);
+        return r;
+      },
+      threads);
+
+  Table table({"N", "delay_us", "queue_mean_kb", "queue_std_kb", "rate0_gbps"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    table.row()
+        .cell(static_cast<long long>(grid[i].num_flows))
+        .cell(grid[i].delay_us, 1)
+        .cell(rows[i].queue_mean_kb, 6)
+        .cell(rows[i].queue_std_kb, 6)
+        .cell(rows[i].rate0_gbps, 6);
+  }
+  std::ostringstream csv;
+  table.print_csv(csv);
+  return csv.str();
+}
+
+/// Packet-level FCT sweep over (load, protocol); each task's simulator seed
+/// is derived with par::task_seed so the RNG stream is a function of the
+/// grid index, not of which worker thread claimed the task.
+std::string fct_sweep_csv(std::size_t threads) {
+  struct Cell {
+    double load = 0.0;
+    exp::Protocol protocol = exp::Protocol::kDcqcn;
+  };
+  std::vector<Cell> grid;
+  for (double load : {0.3, 0.6}) {
+    for (exp::Protocol protocol :
+         {exp::Protocol::kDcqcn, exp::Protocol::kPatchedTimely}) {
+      grid.push_back({load, protocol});
+    }
+  }
+
+  constexpr std::uint64_t kBaseSeed = 20161212;
+  const std::vector<exp::FctResult> rows = par::parallel_map(
+      grid,
+      [&grid](const Cell& cell) {
+        exp::FctConfig config;
+        config.protocol = cell.protocol;
+        config.load = cell.load;
+        config.num_flows = 120;
+        config.pairs = 4;
+        const std::size_t index =
+            static_cast<std::size_t>(&cell - grid.data());
+        config.seed = par::task_seed(kBaseSeed, index);
+        return exp::run_fct_experiment(config);
+      },
+      threads);
+
+  Table table({"load", "protocol", "small_mean_us", "small_p99_us",
+               "overall_mean_us", "utilization", "drops"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    table.row()
+        .cell(grid[i].load, 2)
+        .cell(exp::protocol_name(grid[i].protocol))
+        .cell(rows[i].small.mean_us, 6)
+        .cell(rows[i].small.p99_us, 6)
+        .cell(rows[i].overall.mean_us, 6)
+        .cell(rows[i].utilization, 6)
+        .cell(static_cast<long long>(rows[i].drops));
+  }
+  std::ostringstream csv;
+  table.print_csv(csv);
+  return csv.str();
+}
+
+TEST(Determinism, FluidSweepIsBitIdenticalAcrossThreadCounts) {
+  const std::string serial = fluid_sweep_csv(1);
+  const std::string parallel = fluid_sweep_csv(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Determinism, FluidSweepIsRepeatable) {
+  EXPECT_EQ(fluid_sweep_csv(8), fluid_sweep_csv(8));
+}
+
+TEST(Determinism, PacketFctSweepIsBitIdenticalAcrossThreadCounts) {
+  const std::string serial = fct_sweep_csv(1);
+  const std::string parallel = fct_sweep_csv(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace ecnd

@@ -68,7 +68,7 @@ TEST_P(PiAqmFlowSweep, DcqcnQueuePinsToReferenceAtPacketLevel) {
   EXPECT_NEAR(mean_kb, 50.0, 30.0);
   std::vector<double> rates;
   for (const auto& series : result.rate_gbps) rates.push_back(series.mean_over(0.9, 1.2));
-  EXPECT_GT(jain_fairness(rates), 0.9);
+  EXPECT_GT(jain_fairness(rates).value(), 0.9);
   EXPECT_GT(result.utilization, 0.85);
 }
 

@@ -1,0 +1,157 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace ecnd {
+namespace {
+
+/// RAII guard so a test can set ECND_THREADS without leaking it into other
+/// tests (each gtest case runs in its own process under ctest, but keep the
+/// binary well-behaved when run directly too).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old) saved_ = old;
+    had_value_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(TaskSeed, SameTaskSameStream) {
+  EXPECT_EQ(par::task_seed(42, 7), par::task_seed(42, 7));
+}
+
+TEST(TaskSeed, DistinctTasksDistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 4096; ++i) seeds.insert(par::task_seed(1, i));
+  EXPECT_EQ(seeds.size(), 4096u);
+}
+
+TEST(TaskSeed, DistinctBaseSeedsDistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base = 0; base < 1024; ++base) {
+    seeds.insert(par::task_seed(base, 3));
+  }
+  EXPECT_EQ(seeds.size(), 1024u);
+}
+
+TEST(TaskSeed, NoBaseTaskAliasing) {
+  // seed^index symmetry must not make (base=5, task=4) collide with
+  // (base=4, task=5) — the index is scrambled before the xor.
+  EXPECT_NE(par::task_seed(5, 4), par::task_seed(4, 5));
+  EXPECT_NE(par::task_seed(0, 1), par::task_seed(1, 0));
+}
+
+TEST(TaskSeed, DerivedRngStreamsDiverge) {
+  Rng a(par::task_seed(99, 0));
+  Rng b(par::task_seed(99, 1));
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += a.next_u64() != b.next_u64();
+  EXPECT_GE(differing, 15);
+}
+
+TEST(ParallelForEach, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 257;
+  std::vector<std::atomic<int>> hits(kCount);
+  const par::SweepTiming timing = par::parallel_for_each(
+      kCount, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+  EXPECT_EQ(timing.tasks, kCount);
+  EXPECT_GT(timing.wall_s, 0.0);
+  EXPECT_GE(timing.task_max_s, 0.0);
+  EXPECT_GE(timing.task_sum_s, timing.task_max_s);
+}
+
+TEST(ParallelForEach, SerialPathRunsInOrderOnCallingThread) {
+  std::vector<std::size_t> order;
+  const auto timing = par::parallel_for_each(
+      10, [&](std::size_t i) { order.push_back(i); }, 1);
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(timing.threads, 1u);
+}
+
+TEST(ParallelForEach, ZeroTasksIsANoOp) {
+  const auto timing = par::parallel_for_each(0, [](std::size_t) { FAIL(); }, 4);
+  EXPECT_EQ(timing.tasks, 0u);
+}
+
+TEST(ParallelForEach, MoreThreadsThanTasksClamps) {
+  std::vector<std::atomic<int>> hits(3);
+  const auto timing =
+      par::parallel_for_each(3, [&](std::size_t i) { hits[i].fetch_add(1); }, 64);
+  EXPECT_LE(timing.threads, 3u);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForEach, FirstExceptionPropagates) {
+  EXPECT_THROW(
+      par::parallel_for_each(
+          32,
+          [](std::size_t i) {
+            if (i % 2 == 0) throw std::runtime_error("task failed");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelForEach, ExceptionOnSerialPathPropagates) {
+  EXPECT_THROW(par::parallel_for_each(
+                   4, [](std::size_t) { throw std::runtime_error("boom"); }, 1),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, PreservesItemOrder) {
+  std::vector<int> items;
+  for (int i = 0; i < 100; ++i) items.push_back(i);
+  par::SweepTiming timing;
+  const std::vector<int> out =
+      par::parallel_map(items, [](int v) { return v * 3; }, 8, &timing);
+  ASSERT_EQ(out.size(), items.size());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 3);
+  EXPECT_EQ(timing.tasks, 100u);
+}
+
+TEST(ThreadCount, EnvOverrideWins) {
+  const ScopedEnv env("ECND_THREADS", "3");
+  EXPECT_EQ(par::thread_count(), 3u);
+}
+
+TEST(ThreadCount, SerialOverride) {
+  const ScopedEnv env("ECND_THREADS", "1");
+  EXPECT_EQ(par::thread_count(), 1u);
+}
+
+TEST(ThreadCount, GarbageEnvFallsBackToHardware) {
+  const ScopedEnv env("ECND_THREADS", "not-a-number");
+  EXPECT_GE(par::thread_count(), 1u);
+}
+
+TEST(ThreadCount, ZeroEnvFallsBackToHardware) {
+  const ScopedEnv env("ECND_THREADS", "0");
+  EXPECT_GE(par::thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ecnd

@@ -189,7 +189,7 @@ TEST(DcqcnIntegration, ManyFlowsShareFairly) {
   for (const auto& series : result.rate_gbps) {
     rates.push_back(series.mean_over(0.04, 0.06));
   }
-  EXPECT_GT(jain_fairness(rates), 0.9);
+  EXPECT_GT(jain_fairness(rates).value(), 0.9);
   EXPECT_GT(result.utilization, 0.85);
 }
 

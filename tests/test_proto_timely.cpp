@@ -128,7 +128,7 @@ TEST(TimelyIntegration, TwoEqualFlowsShareFairly) {
   const auto result = exp::run_long_flows(config);
   const double r0 = result.rate_gbps[0].mean_over(0.05, 0.1);
   const double r1 = result.rate_gbps[1].mean_over(0.05, 0.1);
-  EXPECT_GT(jain_fairness({r0, r1}), 0.95);
+  EXPECT_GT(jain_fairness({r0, r1}).value(), 0.95);
   EXPECT_GT(result.utilization, 0.85);
 }
 
@@ -173,8 +173,8 @@ TEST(TimelyIntegration, BurstPacingCausesLargerQueueSwings) {
   };
   const auto paced = run_with(false, kilobytes(16.0));
   const auto burst64 = run_with(true, kilobytes(64.0));
-  EXPECT_GT(burst64.queue_bytes.max_over(0.0, 0.1),
-            paced.queue_bytes.max_over(0.0, 0.1));
+  EXPECT_GT(burst64.queue_bytes.max_over(0.0, 0.1).value(),
+            paced.queue_bytes.max_over(0.0, 0.1).value());
 }
 
 }  // namespace

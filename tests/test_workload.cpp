@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "exp/scenarios.hpp"
 #include "proto/factories.hpp"
 #include "workload/fct_stats.hpp"
@@ -77,10 +79,13 @@ TEST(FctStats, FiltersAndSummarizes) {
   EXPECT_DOUBLE_EQ(summary.mean_us, 300.0);
 }
 
-TEST(FctStats, EmptyPopulation) {
+TEST(FctStats, EmptyPopulationHasNoStatistics) {
   const auto summary = summarize({});
   EXPECT_EQ(summary.count, 0u);
-  EXPECT_EQ(summary.median_us, 0.0);
+  // NaN, not 0: an empty population must not print as a 0us tail.
+  EXPECT_TRUE(std::isnan(summary.median_us));
+  EXPECT_TRUE(std::isnan(summary.mean_us));
+  EXPECT_TRUE(std::isnan(summary.p99_us));
 }
 
 TEST(PoissonTraffic, GeneratesAndCompletesAllFlows) {
