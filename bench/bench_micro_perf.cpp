@@ -1,9 +1,20 @@
 // Micro-benchmarks (google-benchmark) for the two engines everything else
 // rides on: the DDE integrator and the packet-level event core. Not a paper
 // figure; used to keep the harnesses fast enough for the full sweeps.
+//
+// ECND_BENCH_JSON=<path> additionally writes a small machine-readable perf
+// baseline (ns/sim-event, ns/RK4-step, sweep-task throughput) measured with
+// dedicated timing loops — see scripts/bench_baseline.sh and the committed
+// BENCH_obs.json snapshot.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/parallel.hpp"
 #include "exp/scenarios.hpp"
 #include "fluid/dcqcn_model.hpp"
 #include "fluid/fluid_model.hpp"
@@ -73,6 +84,89 @@ void BM_FctExperimentSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_FctExperimentSmall)->Unit(benchmark::kMillisecond);
 
+double elapsed_s(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// ns per packet-simulator event: one 4-sender DCQCN incast run, wall time
+/// over events dispatched.
+double measure_ns_per_sim_event() {
+  sim::Network net(1);
+  sim::StarConfig config;
+  config.senders = 4;
+  sim::Star star = make_star(net, config);
+  for (sim::Host* s : star.senders) {
+    s->set_controller_factory(
+        proto::make_dcqcn_factory(net.sim(), proto::DcqcnRpParams{}));
+  }
+  for (sim::Host* s : star.senders) {
+    s->start_flow(star.receiver->id(), megabytes(4.0));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  net.sim().run_until(seconds(0.02));
+  const double s = elapsed_s(t0);
+  return s * 1e9 / static_cast<double>(net.sim().events_processed());
+}
+
+/// ns per guarded RK4 step of the 10-flow DCQCN fluid model.
+double measure_ns_per_rk4_step() {
+  fluid::DcqcnFluidParams p;
+  p.num_flows = 10;
+  fluid::DcqcnFluidModel model(p);
+  fluid::DdeSolver solver(model, model.initial_state(), 0.0,
+                          model.suggested_dt());
+  constexpr int kSteps = 20000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSteps; ++i) solver.step();
+  return elapsed_s(t0) * 1e9 / kSteps;
+}
+
+/// Sweep-engine dispatch throughput: near-empty tasks, so the number is the
+/// per-task overhead (slot setup, TaskScope, timing) rather than workload.
+double measure_sweep_tasks_per_s() {
+  constexpr std::size_t kTasks = 2048;
+  std::atomic<std::uint64_t> sink{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  par::parallel_for_each(kTasks, [&](std::size_t i) {
+    sink.fetch_add(i, std::memory_order_relaxed);
+  });
+  return static_cast<double>(kTasks) / elapsed_s(t0);
+}
+
+/// Write the ECND_BENCH_JSON perf baseline. Values are wall-clock and
+/// machine-dependent: compare against BENCH_obs.json on the same box only.
+void write_baseline(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open ECND_BENCH_JSON path %s\n", path);
+    return;
+  }
+  const double sim_ns = measure_ns_per_sim_event();
+  const double rk4_ns = measure_ns_per_rk4_step();
+  const double tasks_per_s = measure_sweep_tasks_per_s();
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"ecnd-bench-v1\",\n"
+               "  \"ns_per_sim_event\": %.1f,\n"
+               "  \"ns_per_rk4_step\": %.1f,\n"
+               "  \"sweep_tasks_per_s\": %.0f\n"
+               "}\n",
+               sim_ns, rk4_ns, tasks_per_s);
+  std::fclose(f);
+  std::fprintf(stderr,
+               "[bench] baseline -> %s (sim event %.0fns, rk4 step %.0fns, "
+               "%.0f sweep tasks/s)\n",
+               path, sim_ns, rk4_ns, tasks_per_s);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("ECND_BENCH_JSON")) write_baseline(path);
+  return 0;
+}

@@ -111,10 +111,14 @@ int main(int argc, char** argv) {
         return run_one(cell.first, cell.second, flows, duration_s, seed);
       },
       0, &timing);
-  std::fprintf(stderr,
-               "[fault_study] %zu runs on %zu threads: wall %.2fs "
-               "(serial-equivalent %.2fs)\n",
-               timing.tasks, timing.threads, timing.wall_s, timing.task_sum_s);
+  // Same numbers live in the prof.par.* histograms when the observability
+  // summary is armed; don't print them twice.
+  if (std::getenv("ECND_OBS_SUMMARY") == nullptr) {
+    std::fprintf(stderr,
+                 "[fault_study] %zu runs on %zu threads: wall %.2fs "
+                 "(serial-equivalent %.2fs)\n",
+                 timing.tasks, timing.threads, timing.wall_s, timing.task_sum_s);
+  }
 
   std::size_t slot = 0;
   for (exp::Protocol protocol :

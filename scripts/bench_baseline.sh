@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_obs.json, the machine-readable perf baseline for the two
+# engines (ns per packet-simulator event, ns per guarded RK4 step, sweep-task
+# dispatch throughput). Values are wall-clock: compare runs from the same
+# machine only. The google-benchmark suite is skipped (--benchmark_filter
+# matches nothing); only the dedicated baseline loops run.
+#
+# Usage: scripts/bench_baseline.sh [output.json]   (default: BENCH_obs.json)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_obs.json}"
+
+cmake -B build -S . > /dev/null
+cmake --build build -j --target bench_micro_perf
+
+ECND_BENCH_JSON="$out" ./build/bench/bench_micro_perf --benchmark_filter='^$'
+
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
+echo "bench_baseline.sh: wrote $out"

@@ -8,7 +8,12 @@
 # scheduler, and the cheapest way to keep that promise honest is to run every
 # test on both the serial and the threaded path.
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only]
+# --obs-smoke exercises the observability layer (see OBSERVABILITY.md): one
+# traced quick bench, JSON validity, metrics/trace bit-identical across thread
+# counts, and stdout CSV byte-identical with obs armed, idle, and compiled out
+# (-DECND_OBS=OFF in its own build tree).
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,7 +32,7 @@ run_tests() {
 
 mode="${1:-all}"
 
-if [[ "$mode" != "--sanitize-only" && "$mode" != "--tsan-only" ]]; then
+if [[ "$mode" != "--sanitize-only" && "$mode" != "--tsan-only" && "$mode" != "--obs-smoke" ]]; then
   echo "== plain build + tests (serial and threaded sweep paths) =="
   build_suite build
   run_tests build 1
@@ -47,6 +52,53 @@ if [[ "$mode" == "--tsan-only" ]]; then
   echo "== ThreadSanitizer build + tests =="
   build_suite build-tsan -DECND_TSAN=ON
   run_tests build-tsan 4
+fi
+
+if [[ "$mode" == "--obs-smoke" ]]; then
+  echo "== observability smoke (bench_fig14, quick) =="
+  build_suite build
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  bench=build/bench/bench_fig14_fct_vs_load
+
+  echo "-- baseline run (obs idle)"
+  ECND_QUICK=1 "$bench" > "$tmp/plain.csv" 2>/dev/null
+
+  echo "-- traced run, ECND_THREADS=1"
+  ECND_QUICK=1 ECND_THREADS=1 ECND_METRICS="$tmp/m1.json" \
+    ECND_TRACE="$tmp/t1.json" "$bench" > "$tmp/obs1.csv" 2>/dev/null
+  echo "-- traced run, ECND_THREADS=4"
+  ECND_QUICK=1 ECND_THREADS=4 ECND_METRICS="$tmp/m4.json" \
+    ECND_TRACE="$tmp/t4.json" "$bench" > "$tmp/obs4.csv" 2>/dev/null
+
+  echo "-- JSON validity"
+  python3 - "$tmp" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+m = json.load(open(f"{tmp}/m1.json"))
+assert m["schema"] == "ecnd-metrics-v1", m.get("schema")
+assert m["counters"].get("sim.events", 0) > 0, "no sim.events counted"
+t = json.load(open(f"{tmp}/t1.json"))
+assert isinstance(t["traceEvents"], list) and t["traceEvents"], "empty trace"
+print(f"   metrics: {len(m['counters'])} counters; trace: {len(t['traceEvents'])} events")
+EOF
+
+  echo "-- determinism across thread counts"
+  cmp "$tmp/m1.json" "$tmp/m4.json"
+  cmp "$tmp/t1.json" "$tmp/t4.json"
+
+  echo "-- stdout CSV purity (obs armed vs idle)"
+  cmp "$tmp/plain.csv" "$tmp/obs1.csv"
+  cmp "$tmp/plain.csv" "$tmp/obs4.csv"
+
+  echo "-- stdout CSV purity (-DECND_OBS=OFF build)"
+  cmake -B build-obs-off -S . -DECND_OBS=OFF > /dev/null
+  cmake --build build-obs-off -j --target bench_fig14_fct_vs_load
+  ECND_QUICK=1 build-obs-off/bench/bench_fig14_fct_vs_load \
+    > "$tmp/off.csv" 2>/dev/null
+  cmp "$tmp/plain.csv" "$tmp/off.csv"
+
+  echo "obs smoke: all checks passed"
 fi
 
 echo "check.sh: all requested suites passed"

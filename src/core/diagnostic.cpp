@@ -2,7 +2,18 @@
 
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+
 namespace ecnd {
+
+namespace {
+const obs::Counter kInvariantViolations =
+    obs::counter("robust.invariant_violations");
+}  // namespace
+
+namespace detail {
+void note_invariant_violation() { kInvariantViolations.add(); }
+}  // namespace detail
 
 std::string Diagnostic::to_string() const {
   char head[256];

@@ -48,11 +48,19 @@ struct Diagnostic {
   }
 };
 
+namespace detail {
+/// Bumps the robust.invariant_violations metric (defined in diagnostic.cpp
+/// so this header does not pull in the observability layer).
+void note_invariant_violation();
+}  // namespace detail
+
 /// Thrown by engine guards when a run leaves its feasible region.
 class InvariantViolation : public std::runtime_error {
  public:
   explicit InvariantViolation(Diagnostic diag)
-      : std::runtime_error(diag.to_string()), diag_(std::move(diag)) {}
+      : std::runtime_error(diag.to_string()), diag_(std::move(diag)) {
+    detail::note_invariant_violation();
+  }
 
   const Diagnostic& diagnostic() const { return diag_; }
 

@@ -7,6 +7,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ecnd::par {
 namespace {
 
@@ -15,6 +18,15 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+// Sweep instrumentation: task/sweep wall-clock histograms (these supersede
+// the stderr timing lines when ECND_OBS_SUMMARY is on) plus a deterministic
+// task counter. Worker shards merge at thread exit, inside the sweep.
+const obs::Counter kTasks = obs::counter("par.tasks");
+const obs::Histogram kTaskNs =
+    obs::histogram("prof.par.task_ns", obs::Domain::kWall);
+const obs::Histogram kSweepNs =
+    obs::histogram("prof.par.sweep_ns", obs::Domain::kWall);
 
 }  // namespace
 
@@ -58,14 +70,21 @@ SweepTiming parallel_for_each(std::size_t count,
   // accounting is identical however tasks map onto threads).
   std::vector<double> task_s(count, 0.0);
 
+  // Each grid index gets its own trace buffer (TaskScope) so the exported
+  // trace depends on the grid, not on which worker ran the task.
+  auto run_task = [&](std::size_t i) {
+    obs::TaskScope scope(static_cast<std::uint32_t>(i) + 1);
+    const auto t0 = Clock::now();
+    fn(i);
+    task_s[i] = seconds_since(t0);
+    kTasks.add();
+    kTaskNs.record(static_cast<std::uint64_t>(task_s[i] * 1e9));
+  };
+
   if (threads == 1) {
     // Serial path: run inline so exceptions propagate directly and behavior
     // matches the pre-engine harnesses exactly.
-    for (std::size_t i = 0; i < count; ++i) {
-      const auto t0 = Clock::now();
-      fn(i);
-      task_s[i] = seconds_since(t0);
-    }
+    for (std::size_t i = 0; i < count; ++i) run_task(i);
   } else {
     std::atomic<std::size_t> next{0};
     std::exception_ptr first_error;
@@ -74,14 +93,12 @@ SweepTiming parallel_for_each(std::size_t count,
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
-        const auto t0 = Clock::now();
         try {
-          fn(i);
+          run_task(i);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
-        task_s[i] = seconds_since(t0);
       }
     };
     std::vector<std::thread> pool;
@@ -97,6 +114,7 @@ SweepTiming parallel_for_each(std::size_t count,
     timing.task_sum_s += s;
     if (s > timing.task_max_s) timing.task_max_s = s;
   }
+  kSweepNs.record(static_cast<std::uint64_t>(timing.wall_s * 1e9));
   return timing;
 }
 

@@ -4,7 +4,25 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
 namespace ecnd::fluid {
+namespace {
+
+// Fluid-engine metrics (sim-domain except the profiling histogram).
+// fluid.rhs_evals is 4x the attempted RK4 advances; fluid.lookup_clamped
+// counts delayed-state reads that fell off either end of the history window.
+const obs::Counter kRk4Steps = obs::counter("fluid.rk4_steps");
+const obs::Counter kRhsEvals = obs::counter("fluid.rhs_evals");
+const obs::Counter kStepRetries = obs::counter("fluid.step_retries");
+const obs::Counter kDelayedLookups = obs::counter("fluid.delayed_lookups");
+const obs::Counter kLookupClamped = obs::counter("fluid.lookup_clamped");
+const obs::Histogram kRunNs =
+    obs::histogram("prof.fluid.run_ns", obs::Domain::kWall);
+
+}  // namespace
 
 void History::append(double t, std::span<const double> x) {
   assert(x.size() == dim_);
@@ -16,9 +34,16 @@ void History::append(double t, std::span<const double> x) {
 double History::value(std::size_t var, double t) const {
   assert(var < dim_);
   assert(!times_.empty());
+  kDelayedLookups.add();
   const std::size_t n = times_.size();
-  if (t <= times_[start_]) return states_[start_ * dim_ + var];
-  if (t >= times_[n - 1]) return states_[(n - 1) * dim_ + var];
+  if (t <= times_[start_]) {
+    kLookupClamped.add();
+    return states_[start_ * dim_ + var];
+  }
+  if (t >= times_[n - 1]) {
+    kLookupClamped.add();
+    return states_[(n - 1) * dim_ + var];
+  }
   // Binary search over [start_, n).
   const auto begin = times_.begin() + static_cast<std::ptrdiff_t>(start_);
   const auto it = std::lower_bound(begin, times_.end(), t);
@@ -70,6 +95,8 @@ void DdeSolver::set_guard(Guard guard, int max_step_halvings) {
 }
 
 void DdeSolver::advance(double h) {
+  kRk4Steps.add();
+  kRhsEvals.add(4);
   const std::size_t n = x_.size();
   system_.rhs(t_, x_, history_, k1_);
   for (std::size_t i = 0; i < n; ++i) tmp_[i] = x_[i] + 0.5 * h * k1_[i];
@@ -121,6 +148,8 @@ void DdeSolver::step() {
     }
     // Rejected: roll back to the last accepted state and try a gentler step.
     x_.assign(x_save_.begin(), x_save_.end());
+    kStepRetries.add();
+    obs::trace_instant("fluid.step_retry", t_start * 1e6, h);
     h *= 0.5;
   }
   if (diag.component.empty()) diag.component = "DdeSolver";
@@ -133,6 +162,8 @@ void DdeSolver::run_until(
     double t_end,
     const std::function<void(double, std::span<const double>)>& observer,
     double sample_interval) {
+  obs::ScopedTimer timer(kRunNs);
+  const bool tracing = obs::trace_enabled();
   double next_sample = t_;
   while (t_ < t_end - 1e-15) {
     if (observer && t_ >= next_sample) {
@@ -142,6 +173,7 @@ void DdeSolver::run_until(
       }
     }
     step();
+    if (tracing) obs::trace_instant("fluid.rk4_step", t_ * 1e6, x_.empty() ? 0.0 : x_[0]);
   }
   if (observer) observer(t_, x_);
 }

@@ -1,0 +1,43 @@
+#pragma once
+// RAII wall-clock profiling hooks feeding Domain::kWall histograms.
+//
+// ScopedTimer brackets a region (the simulator event loop, one DDE
+// integration, one sweep task) and records its duration in nanoseconds into
+// a histogram on destruction. Derived figures — ns per simulated event, ns
+// per RK4 step — come from dividing a prof.* histogram's sum by the matching
+// sim-domain counter (see scripts/bench_baseline.sh).
+//
+// When metrics are disabled (runtime flag off, or -DECND_OBS=OFF) the
+// constructor takes one branch and the clock is never read.
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace ecnd::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const Histogram& hist)
+      : hist_(hist), armed_(metrics_enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (armed_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      hist_.record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const Histogram& hist_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ecnd::obs

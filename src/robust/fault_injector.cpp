@@ -1,8 +1,24 @@
 #include "robust/fault_injector.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 
 namespace ecnd::robust {
+namespace {
+
+// Mirrors of FaultCounters in the global registry (per-injector totals stay
+// on FaultInjector::counters()). Same names, fault.* prefix.
+const obs::Counter kCnpsDropped = obs::counter("fault.cnps_dropped");
+const obs::Counter kAcksDropped = obs::counter("fault.acks_dropped");
+const obs::Counter kDataDropped = obs::counter("fault.data_dropped");
+const obs::Counter kFlapDropped = obs::counter("fault.flap_dropped");
+const obs::Counter kCnpsDuplicated = obs::counter("fault.cnps_duplicated");
+const obs::Counter kAcksDuplicated = obs::counter("fault.acks_duplicated");
+const obs::Counter kFeedbackDelayed = obs::counter("fault.feedback_delayed");
+const obs::Counter kEcnFlipped = obs::counter("fault.ecn_flipped");
+
+}  // namespace
 
 FaultProfile FaultProfile::feedback_only() const {
   FaultProfile p;
@@ -47,6 +63,9 @@ sim::FaultAction FaultInjector::decide(const sim::Packet& pkt, PicoTime now,
     if (t >= flap.down_s && t < flap.up_s) {
       act.drop = true;
       ++counters_.flap_dropped;
+      kFlapDropped.add();
+      obs::trace_instant("fault.flap_drop", to_microseconds(now), 0.0,
+                         pkt.flow_id);
       return act;
     }
   }
@@ -56,16 +75,21 @@ sim::FaultAction FaultInjector::decide(const sim::Packet& pkt, PicoTime now,
       if (profile.cnp_loss > 0.0 && rng_.bernoulli(profile.cnp_loss)) {
         act.drop = true;
         ++counters_.cnps_dropped;
+        kCnpsDropped.add();
+        obs::trace_instant("fault.cnp_drop", to_microseconds(now), 0.0,
+                           pkt.flow_id);
         return act;
       }
       if (profile.cnp_duplicate > 0.0 && rng_.bernoulli(profile.cnp_duplicate)) {
         act.duplicates = 1;
         ++counters_.cnps_duplicated;
+        kCnpsDuplicated.add();
       }
       if (profile.feedback_delay_prob > 0.0 &&
           rng_.bernoulli(profile.feedback_delay_prob)) {
         act.extra_delay = profile.feedback_extra_delay;
         ++counters_.feedback_delayed;
+        kFeedbackDelayed.add();
       }
       break;
 
@@ -73,16 +97,21 @@ sim::FaultAction FaultInjector::decide(const sim::Packet& pkt, PicoTime now,
       if (profile.ack_loss > 0.0 && rng_.bernoulli(profile.ack_loss)) {
         act.drop = true;
         ++counters_.acks_dropped;
+        kAcksDropped.add();
+        obs::trace_instant("fault.ack_drop", to_microseconds(now), 0.0,
+                           pkt.flow_id);
         return act;
       }
       if (profile.ack_duplicate > 0.0 && rng_.bernoulli(profile.ack_duplicate)) {
         act.duplicates = 1;
         ++counters_.acks_duplicated;
+        kAcksDuplicated.add();
       }
       if (profile.feedback_delay_prob > 0.0 &&
           rng_.bernoulli(profile.feedback_delay_prob)) {
         act.extra_delay = profile.feedback_extra_delay;
         ++counters_.feedback_delayed;
+        kFeedbackDelayed.add();
       }
       break;
 
@@ -90,11 +119,17 @@ sim::FaultAction FaultInjector::decide(const sim::Packet& pkt, PicoTime now,
       if (profile.data_loss > 0.0 && rng_.bernoulli(profile.data_loss)) {
         act.drop = true;
         ++counters_.data_dropped;
+        kDataDropped.add();
+        obs::trace_instant("fault.data_drop", to_microseconds(now), 0.0,
+                           pkt.flow_id);
         return act;
       }
       if (profile.ecn_flip > 0.0 && rng_.bernoulli(profile.ecn_flip)) {
         act.flip_ecn = true;
         ++counters_.ecn_flipped;
+        kEcnFlipped.add();
+        obs::trace_instant("fault.ecn_flip", to_microseconds(now), 0.0,
+                           pkt.flow_id);
       }
       break;
 

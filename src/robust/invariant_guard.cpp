@@ -3,8 +3,17 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace ecnd::robust {
 namespace {
+
+/// A guard returned false: the solver will roll back and retry (or throw
+/// after max halvings). Distinct from robust.invariant_violations, which
+/// counts the throws themselves.
+const obs::Counter kGuardRejections = obs::counter("robust.guard_rejections");
+
+void note_rejection() { kGuardRejections.add(); }
 
 std::string variable_label(const std::vector<std::string>& names,
                            std::size_t i) {
@@ -48,6 +57,7 @@ fluid::DdeSolver::Guard make_fluid_guard(const fluid::FluidModel& model,
              double t, std::span<const double> x, Diagnostic& diag) {
     const double q = x[model.queue_index()];
     if (!std::isfinite(q) || q < 0.0 || q > config.max_queue_pkts) {
+      note_rejection();
       diag = Diagnostic::make(
           "DdeSolver", "q", t, q,
           std::isfinite(q) ? "queue outside [0, " +
@@ -60,6 +70,7 @@ fluid::DdeSolver::Guard make_fluid_guard(const fluid::FluidModel& model,
     for (int flow = 0; flow < model.num_flows(); ++flow) {
       const double r = x[model.rate_index(flow)];
       if (!std::isfinite(r) || r < 0.0 || r > rate_cap) {
+        note_rejection();
         diag = Diagnostic::make(
             "DdeSolver", names[model.rate_index(flow)], t, r,
             std::isfinite(r)
@@ -68,7 +79,11 @@ fluid::DdeSolver::Guard make_fluid_guard(const fluid::FluidModel& model,
         return false;
       }
     }
-    return check_finite(t, x, names, diag);
+    if (!check_finite(t, x, names, diag)) {
+      note_rejection();
+      return false;
+    }
+    return true;
   };
 }
 
@@ -76,10 +91,14 @@ fluid::DdeSolver::Guard make_bound_guard(double abs_bound,
                                          std::vector<std::string> names) {
   return [abs_bound, names = std::move(names)](
              double t, std::span<const double> x, Diagnostic& diag) {
-    if (!check_finite(t, x, names, diag)) return false;
+    if (!check_finite(t, x, names, diag)) {
+      note_rejection();
+      return false;
+    }
     if (abs_bound > 0.0) {
       for (std::size_t i = 0; i < x.size(); ++i) {
         if (std::abs(x[i]) > abs_bound) {
+          note_rejection();
           diag = Diagnostic::make("DdeSolver", variable_label(names, i), t,
                                   x[i], "|x| > " + std::to_string(abs_bound));
           return false;

@@ -6,8 +6,20 @@
 #include <string>
 
 #include "core/diagnostic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ecnd::sim {
+namespace {
+
+// End-host control-plane metrics (sim-domain). sim.rate_updates counts
+// feedback deliveries that reached a live controller (CNP or RTT sample);
+// the host.rate_update trace instant records the post-update rate in Gb/s.
+const obs::Counter kCnpsGenerated = obs::counter("sim.cnps_generated");
+const obs::Counter kAcksGenerated = obs::counter("sim.acks_generated");
+const obs::Counter kRateUpdates = obs::counter("sim.rate_updates");
+
+}  // namespace
 
 Host::Host(Simulator& sim, Rng& rng, std::string name, int id, HostConfig config)
     : Node(std::move(name), id), sim_(sim), rng_(rng), config_(config) {}
@@ -126,6 +138,9 @@ void Host::handle_data(const Packet& pkt) {
     cnp.size = kControlPacketBytes;
     nic_->enqueue(cnp);
     ++cnps_sent_;
+    kCnpsGenerated.add();
+    obs::trace_instant("host.cnp", to_microseconds(sim_.now()), 0.0,
+                       pkt.flow_id);
   }
 
   // Completion-event ACK carrying the RTT echo (TIMELY).
@@ -139,6 +154,7 @@ void Host::handle_data(const Packet& pkt) {
     ack.sent_at = pkt.sent_at;  // echo of the data tx timestamp
     nic_->enqueue(ack);
     ++acks_sent_;
+    kAcksGenerated.add();
   }
 
   if (pkt.flow_end) {
@@ -170,13 +186,21 @@ void Host::receive(Packet pkt, int ingress_port) {
       break;
     case PacketType::kCnp: {
       const auto it = send_flows_.find(pkt.flow_id);
-      if (it != send_flows_.end()) it->second.controller->on_cnp(sim_.now());
+      if (it != send_flows_.end()) {
+        it->second.controller->on_cnp(sim_.now());
+        kRateUpdates.add();
+        obs::trace_instant("host.rate_update", to_microseconds(sim_.now()),
+                           it->second.controller->rate() / 1e9, pkt.flow_id);
+      }
       break;
     }
     case PacketType::kAck: {
       const auto it = send_flows_.find(pkt.flow_id);
       if (it != send_flows_.end()) {
         it->second.controller->on_rtt_sample(sim_.now() - pkt.sent_at, sim_.now());
+        kRateUpdates.add();
+        obs::trace_instant("host.rate_update", to_microseconds(sim_.now()),
+                           it->second.controller->rate() / 1e9, pkt.flow_id);
       }
       break;
     }

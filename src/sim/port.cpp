@@ -5,9 +5,26 @@
 #include <string>
 
 #include "core/diagnostic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/node.hpp"
 
 namespace ecnd::sim {
+namespace {
+
+// Packet-path metrics, aggregated across every port of every network in the
+// process (per-port totals stay on the Port accessors). All sim-domain:
+// identical for a given scenario at any thread count.
+const obs::Counter kEnqueued = obs::counter("sim.pkt_enqueued");
+const obs::Counter kTailDropped = obs::counter("sim.pkt_tail_dropped");
+const obs::Counter kTransmitted = obs::counter("sim.pkt_tx");
+const obs::Counter kEcnMarked = obs::counter("sim.ecn_marked");
+const obs::Counter kPfcPauses = obs::counter("sim.pfc_pauses");
+const obs::Counter kPfcResumes = obs::counter("sim.pfc_resumes");
+const obs::Gauge kQueueMax = obs::gauge("sim.queue_bytes_max");
+const obs::Histogram kPktBytes = obs::histogram("sim.pkt_bytes");
+
+}  // namespace
 
 Port::Port(Simulator& sim, Rng& rng, std::string name, BitsPerSecond rate,
            PicoTime propagation)
@@ -17,6 +34,9 @@ Port::Port(Simulator& sim, Rng& rng, std::string name, BitsPerSecond rate,
       rate_(rate),
       propagation_(propagation) {
   assert(rate_ > 0.0);
+  if (obs::trace_enabled()) {
+    trace_queue_track_ = obs::intern(name_ + ".q");
+  }
 }
 
 void Port::connect(Node* peer, int peer_ingress_port) {
@@ -57,8 +77,12 @@ void Port::enqueue(Packet pkt) {
   assert(peer_ != nullptr);
   if (buffer_limit_ > 0 && queued_bytes() + pkt.size > buffer_limit_) {
     ++drops_;
+    kTailDropped.add();
+    obs::trace_instant("pkt.tail_drop", to_microseconds(sim_.now()),
+                       static_cast<double>(pkt.size), pkt.flow_id);
     return;
   }
+  kEnqueued.add();
   if (red_.enabled && red_.position == MarkPosition::kEnqueue &&
       pkt.type == PacketType::kData) {
     // "Marking on ingress" (Figure 17): decide from the backlog the packet
@@ -70,16 +94,29 @@ void Port::enqueue(Packet pkt) {
   const int prio = pkt.priority();
   queued_bytes_[prio] += pkt.size;
   queues_[prio].push_back(pkt);
+  kQueueMax.set_max(static_cast<std::uint64_t>(queued_bytes()));
+  if (trace_queue_track_ != nullptr) {
+    obs::trace_counter(trace_queue_track_, to_microseconds(sim_.now()),
+                       static_cast<double>(queued_bytes()));
+  }
   try_transmit();
 }
 
 void Port::pfc_pause() {
+  if (!paused_) {
+    kPfcPauses.add();
+    obs::trace_instant("pfc.pause", to_microseconds(sim_.now()),
+                       static_cast<double>(queued_bytes()));
+  }
   paused_ = true;
 }
 
 void Port::pfc_resume() {
   if (!paused_) return;
   paused_ = false;
+  kPfcResumes.add();
+  obs::trace_instant("pfc.resume", to_microseconds(sim_.now()),
+                     static_cast<double>(queued_bytes()));
   try_transmit();
 }
 
@@ -125,7 +162,19 @@ void Port::try_transmit() {
 
   ++tx_packets_;
   tx_bytes_ += static_cast<std::uint64_t>(pkt.size);
-  if (pkt.ecn_marked) ++marked_packets_;
+  kTransmitted.add();
+  kPktBytes.record(static_cast<std::uint64_t>(pkt.size));
+  if (pkt.ecn_marked) {
+    ++marked_packets_;
+    kEcnMarked.add();
+    obs::trace_instant("pkt.ecn_mark", to_microseconds(sim_.now()),
+                       static_cast<double>(queued_bytes(kDataPriority)),
+                       pkt.flow_id);
+  }
+  if (trace_queue_track_ != nullptr) {
+    obs::trace_counter(trace_queue_track_, to_microseconds(sim_.now()),
+                       static_cast<double>(queued_bytes()));
+  }
 
   // Wire faults (fault injection): the packet has been transmitted and
   // counted; the hook decides whether the wire loses, copies, holds back or

@@ -149,6 +149,10 @@ class Port {
   std::uint64_t tx_packets_ = 0;
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t marked_packets_ = 0;
+
+  /// Interned "<name>.q" label for the tracer's per-port queue-depth track;
+  /// null when tracing was off at construction (see obs/trace.hpp).
+  const char* trace_queue_track_ = nullptr;
 };
 
 }  // namespace ecnd::sim

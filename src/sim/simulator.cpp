@@ -3,12 +3,27 @@
 #include <cassert>
 
 #include "core/diagnostic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace ecnd::sim {
+namespace {
+
+// Registered at startup so the metric set in a dump never depends on which
+// code paths ran. sim.events counts run_one dispatches across every
+// Simulator instance; prof.sim.run_ns brackets run_until/run_all, so
+// ns-per-event is prof.sim.run_ns.sum / sim.events.
+const obs::Counter kEvents = obs::counter("sim.events");
+const obs::Counter kLateSchedules = obs::counter("sim.late_schedules");
+const obs::Histogram kRunNs =
+    obs::histogram("prof.sim.run_ns", obs::Domain::kWall);
+
+}  // namespace
 
 void Simulator::schedule_at(PicoTime t, Action action) {
   if (t < now_) {
     ++late_schedules_;
+    kLateSchedules.add();
     t = now_;
   }
   queue_.push({t, next_seq_++, std::move(action)});
@@ -40,17 +55,20 @@ bool Simulator::run_one() {
   assert(ev.t >= now_);
   now_ = ev.t;
   ++processed_;
+  kEvents.add();
   if (event_budget_ != 0 || wall_limit_s_ > 0.0) check_watchdogs();
   ev.action();
   return true;
 }
 
 void Simulator::run_until(PicoTime t_end) {
+  obs::ScopedTimer timer(kRunNs);
   while (!queue_.empty() && queue_.top().t <= t_end) run_one();
   if (now_ < t_end) now_ = t_end;
 }
 
 void Simulator::run_all() {
+  obs::ScopedTimer timer(kRunNs);
   while (run_one()) {
   }
 }

@@ -2,7 +2,18 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ecnd::sim {
+namespace {
+
+// PFC frames *originated* by switches (the receiving port's pause/resume
+// transitions are counted separately as sim.pfc_pauses / sim.pfc_resumes).
+const obs::Counter kPauseFrames = obs::counter("sim.pfc_pause_frames");
+const obs::Counter kResumeFrames = obs::counter("sim.pfc_resume_frames");
+
+}  // namespace
 
 int Switch::add_port(BitsPerSecond rate, PicoTime propagation) {
   const int index = num_ports();
@@ -26,6 +37,19 @@ void Switch::send_pfc(int ingress_port, PacketType type) {
   // PFC frames are hop-local: they terminate at the upstream neighbor.
   port(ingress_port).enqueue(frame);
   ++pause_frames_;
+  if (type == PacketType::kPause) {
+    kPauseFrames.add();
+    obs::trace_instant("pfc.pause_frame", to_microseconds(sim_.now()),
+                       static_cast<double>(ingress_bytes_[
+                           static_cast<std::size_t>(ingress_port)]),
+                       static_cast<std::uint64_t>(ingress_port));
+  } else {
+    kResumeFrames.add();
+    obs::trace_instant("pfc.resume_frame", to_microseconds(sim_.now()),
+                       static_cast<double>(ingress_bytes_[
+                           static_cast<std::size_t>(ingress_port)]),
+                       static_cast<std::uint64_t>(ingress_port));
+  }
 }
 
 void Switch::receive(Packet pkt, int ingress_port) {

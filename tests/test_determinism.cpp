@@ -4,6 +4,11 @@
 // Thread count may change *scheduling*, never *results* — per-task seeds are
 // derived from (base_seed, task_index), results land in pre-sized slots, and
 // rows print in grid order.
+//
+// Each sweep helper also appends the observability layer's metrics JSON dump
+// to the compared blob, so the same equality assertions additionally pin down
+// that per-thread metric shards merge to bit-identical totals at any thread
+// count (see OBSERVABILITY.md).
 
 #include <gtest/gtest.h>
 
@@ -16,12 +21,36 @@
 #include "exp/scenarios.hpp"
 #include "fluid/dcqcn_model.hpp"
 #include "fluid/fluid_model.hpp"
+#include "obs/metrics.hpp"
 
 namespace ecnd {
 namespace {
 
-/// Fluid phase-margin/queue sweep over (N, feedback delay), rendered as CSV.
+/// Arm + zero the metrics registry for the duration of one sweep and return
+/// the end-of-sweep JSON dump. Restores the previous enable state so the
+/// suite behaves the same whether or not ECND_METRICS armed it globally.
+class MetricsCapture {
+ public:
+  MetricsCapture() : was_enabled_(obs::metrics_enabled()) {
+    obs::set_metrics_enabled(true);
+    obs::reset();
+  }
+  ~MetricsCapture() { obs::set_metrics_enabled(was_enabled_); }
+
+  std::string dump() const {
+    std::ostringstream out;
+    obs::dump_metrics_json(out);
+    return out.str();
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+/// Fluid phase-margin/queue sweep over (N, feedback delay), rendered as CSV
+/// with the sweep's metrics dump appended.
 std::string fluid_sweep_csv(std::size_t threads) {
+  MetricsCapture metrics;
   struct Cell {
     int num_flows = 0;
     double delay_us = 0.0;
@@ -63,13 +92,14 @@ std::string fluid_sweep_csv(std::size_t threads) {
   }
   std::ostringstream csv;
   table.print_csv(csv);
-  return csv.str();
+  return csv.str() + "\n# metrics\n" + metrics.dump();
 }
 
 /// Packet-level FCT sweep over (load, protocol); each task's simulator seed
 /// is derived with par::task_seed so the RNG stream is a function of the
 /// grid index, not of which worker thread claimed the task.
 std::string fct_sweep_csv(std::size_t threads) {
+  MetricsCapture metrics;
   struct Cell {
     double load = 0.0;
     exp::Protocol protocol = exp::Protocol::kDcqcn;
@@ -112,7 +142,7 @@ std::string fct_sweep_csv(std::size_t threads) {
   }
   std::ostringstream csv;
   table.print_csv(csv);
-  return csv.str();
+  return csv.str() + "\n# metrics\n" + metrics.dump();
 }
 
 TEST(Determinism, FluidSweepIsBitIdenticalAcrossThreadCounts) {
@@ -131,6 +161,18 @@ TEST(Determinism, PacketFctSweepIsBitIdenticalAcrossThreadCounts) {
   const std::string parallel = fct_sweep_csv(8);
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
+}
+
+TEST(Determinism, MetricsDumpCoversPacketSweep) {
+  // The compared blobs above contain the metrics dump; make sure it is not
+  // vacuous — a packet sweep must have counted simulator events.
+#if !defined(ECND_OBS_DISABLED)
+  const std::string blob = fct_sweep_csv(2);
+  EXPECT_NE(blob.find("\"sim.events\""), std::string::npos);
+  EXPECT_NE(blob.find("\"ecnd-metrics-v1\""), std::string::npos);
+#else
+  GTEST_SKIP() << "observability compiled out (ECND_OBS=OFF)";
+#endif
 }
 
 }  // namespace
