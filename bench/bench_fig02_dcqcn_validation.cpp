@@ -6,12 +6,15 @@
 // own DDE integrator and packet simulator and print queue/rate agreement.
 
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "control/dcqcn_analysis.hpp"
 #include "exp/scenarios.hpp"
 #include "fluid/dcqcn_model.hpp"
 #include "fluid/fluid_model.hpp"
+#include "obs/analyzers.hpp"
+#include "obs/manifest.hpp"
 
 using namespace ecnd;
 
@@ -19,13 +22,19 @@ int main() {
   bench::banner("Figure 2 - DCQCN fluid model vs packet-level simulation",
                 "fluid model and simulator are in good agreement (N=2, N=10)");
 
+  const double duration = 0.06;
+  const double t0 = 0.035, t1 = 0.06;
+
+  obs::RunManifest manifest("fig02");
+  manifest.param("flow_counts", "2,10")
+      .param("duration_s", duration)
+      .param("window_t0_s", t0)
+      .param("window_t1_s", t1);
+
   Table table({"N", "layer", "queue mean (KB)", "queue std (KB)",
                "flow0 rate (Gb/s)", "fair share (Gb/s)"});
 
   for (int n : {2, 10}) {
-    const double duration = 0.06;
-    const double t0 = 0.035, t1 = 0.06;
-
     fluid::DcqcnFluidParams fluid_params;
     fluid_params.num_flows = n;
     fluid_params.feedback_delay = 4e-6;
@@ -38,25 +47,54 @@ int main() {
     sim_config.duration_s = duration;
     const exp::LongFlowResult sim_run = exp::run_long_flows(sim_config);
 
+    const double fluid_q_kb = fluid_run.queue_bytes.mean_over(t0, t1) / 1e3;
+    const double packet_q_kb = sim_run.queue_bytes.mean_over(t0, t1) / 1e3;
+    const double fluid_r0 = fluid_run.flow_rate_gbps[0].mean_over(t0, t1);
+    const double packet_r0 = sim_run.rate_gbps[0].mean_over(t0, t1);
+
     table.row()
         .cell(n)
         .cell("fluid")
-        .cell(fluid_run.queue_bytes.mean_over(t0, t1) / 1e3, 1)
+        .cell(fluid_q_kb, 1)
         .cell(fluid_run.queue_bytes.stddev_over(t0, t1) / 1e3, 1)
-        .cell(fluid_run.flow_rate_gbps[0].mean_over(t0, t1), 2)
+        .cell(fluid_r0, 2)
         .cell(10.0 / n, 2);
     table.row()
         .cell(n)
         .cell("packet")
-        .cell(sim_run.queue_bytes.mean_over(t0, t1) / 1e3, 1)
+        .cell(packet_q_kb, 1)
         .cell(sim_run.queue_bytes.stddev_over(t0, t1) / 1e3, 1)
-        .cell(sim_run.rate_gbps[0].mean_over(t0, t1), 2)
+        .cell(packet_r0, 2)
         .cell(10.0 / n, 2);
 
     std::cout << "N=" << n << " queue (KB), fluid : "
               << bench::shape_line(fluid_run.queue_bytes, t0, t1) << "\n";
     std::cout << "N=" << n << " queue (KB), packet: "
               << bench::shape_line(sim_run.queue_bytes, t0, t1) << "\n";
+
+    const std::string suffix = ".n" + std::to_string(n);
+    manifest.observable("queue_mean_kb.fluid" + suffix, fluid_q_kb)
+        .observable("queue_mean_kb.packet" + suffix, packet_q_kb)
+        .observable("rate0_gbps.fluid" + suffix, fluid_r0)
+        .observable("rate0_gbps.packet" + suffix, packet_r0)
+        .observable("queue_agreement" + suffix,
+                    fluid_q_kb > 0.0 ? packet_q_kb / fluid_q_kb : 0.0);
+
+    // Settling onto the Theorem-1 fixed point: the fluid queue must reach a
+    // +/-30% band around q* and stay there through the end of the run.
+    fluid::DcqcnFluidParams fp_params;
+    fp_params.num_flows = n;
+    const auto fp = control::solve_dcqcn_fixed_point(fp_params);
+    obs::SettlingParams sp;
+    sp.target = fp.q_star_pkts * 1e3;  // q* is reported in KB
+    sp.epsilon = 0.3 * sp.target;
+    sp.min_dwell = 0.2 * duration;
+    const auto settle =
+        obs::settling_time(fluid_run.queue_bytes, sp, 0.0, duration);
+    manifest.observable("fluid_queue_settled" + suffix, settle.settled)
+        .observable("fluid_queue_settle_s" + suffix,
+                    settle.settled ? std::optional<double>(settle.settle_t)
+                                   : std::nullopt);
   }
   std::cout << "\n";
   table.print(std::cout);
@@ -69,5 +107,10 @@ int main() {
   std::cout << "\nTheorem 1 fixed point (N=2): p*=" << fp.p_star
             << "  q*=" << fp.q_star_pkts << " KB  Rc*=" << fp.rate_pps * 8e3 / 1e9
             << " Gb/s\n";
+
+  manifest.observable("fixed_point.p_star.n2", fp.p_star)
+      .observable("fixed_point.q_star_kb.n2", fp.q_star_pkts)
+      .observable("fixed_point.rate_gbps.n2", fp.rate_pps * 8e3 / 1e9);
+  manifest.write_if_requested();
   return 0;
 }

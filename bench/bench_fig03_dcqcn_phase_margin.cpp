@@ -19,11 +19,13 @@
 // cycle of the verbatim Equation-3 profile (bench_fig04/05) rather than as
 // a negative linear margin.
 
+#include <algorithm>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "control/dcqcn_analysis.hpp"
+#include "obs/manifest.hpp"
 
 using namespace ecnd;
 
@@ -37,11 +39,14 @@ struct GridPoint {
 };
 
 /// Sweep margins for param x N on the thread pool; rows print in grid order.
+/// Returns the flat margin grid (param-major, matching the printed rows) so
+/// the caller can derive manifest observables from specific cells.
 template <typename Apply>
-void print_margin_grid(const char* label, const char* param_header,
-                       const std::vector<double>& params,
-                       const std::vector<int>& flow_counts, int param_precision,
-                       Apply apply) {
+std::vector<double> print_margin_grid(const char* label,
+                                      const char* param_header,
+                                      const std::vector<double>& params,
+                                      const std::vector<int>& flow_counts,
+                                      int param_precision, Apply apply) {
   std::vector<GridPoint> grid;
   grid.reserve(params.size() * flow_counts.size());
   for (double param : params) {
@@ -71,6 +76,7 @@ void print_margin_grid(const char* label, const char* param_header,
     }
   }
   table.print(std::cout);
+  return margins;
 }
 
 }  // namespace
@@ -80,27 +86,51 @@ int main() {
                 "stable at small+large N; tuning R_AI down or Kmax up stabilizes");
 
   const std::vector<int> flow_counts{2, 4, 6, 8, 10, 16, 24, 32, 48, 64, 100};
+  const std::size_t ncols = flow_counts.size();
 
   std::cout << "(a) phase margin [deg] vs N, per control delay\n";
-  print_margin_grid("fig03a", "tau* (us)", {1.0, 20.0, 50.0, 85.0, 100.0},
-                    flow_counts, 0,
-                    [](fluid::DcqcnFluidParams& p, double delay_us) {
-                      p.feedback_delay = delay_us * 1e-6;
-                    });
+  const std::vector<double> grid_a = print_margin_grid(
+      "fig03a", "tau* (us)", {1.0, 20.0, 50.0, 85.0, 100.0}, flow_counts, 0,
+      [](fluid::DcqcnFluidParams& p, double delay_us) {
+        p.feedback_delay = delay_us * 1e-6;
+      });
 
   std::cout << "\n(b) phase margin vs N at tau*=100us, per R_AI\n";
-  print_margin_grid("fig03b", "R_AI (Mb/s)", {40.0, 20.0, 10.0, 5.0},
-                    flow_counts, 0,
-                    [](fluid::DcqcnFluidParams& p, double rai) {
-                      p.feedback_delay = 100e-6;
-                      p.rate_ai = mbps(rai);
-                    });
+  const std::vector<double> grid_b = print_margin_grid(
+      "fig03b", "R_AI (Mb/s)", {40.0, 20.0, 10.0, 5.0}, flow_counts, 0,
+      [](fluid::DcqcnFluidParams& p, double rai) {
+        p.feedback_delay = 100e-6;
+        p.rate_ai = mbps(rai);
+      });
 
   std::cout << "\n(c) phase margin vs N at tau*=100us, per Kmax\n";
-  print_margin_grid("fig03c", "Kmax (KB)", {200.0, 400.0, 1000.0}, flow_counts,
-                    0, [](fluid::DcqcnFluidParams& p, double kmax) {
-                      p.feedback_delay = 100e-6;
-                      p.kmax = kilobytes(kmax);
-                    });
+  const std::vector<double> grid_c = print_margin_grid(
+      "fig03c", "Kmax (KB)", {200.0, 400.0, 1000.0}, flow_counts, 0,
+      [](fluid::DcqcnFluidParams& p, double kmax) {
+        p.feedback_delay = 100e-6;
+        p.kmax = kilobytes(kmax);
+      });
+
+  obs::RunManifest manifest("fig03");
+  manifest.param("flow_counts_min", flow_counts.front())
+      .param("flow_counts_max", flow_counts.back())
+      .param("delays_us", "1,20,50,85,100")
+      .param("rai_mbps", "40,20,10,5")
+      .param("kmax_kb", "200,400,1000");
+  // (a) rows: param-major; row 0 = tau*=1us, row 4 = tau*=100us.
+  manifest.observable("pm_deg.tau1us.n2", grid_a[0 * ncols])
+      .observable("pm_deg.tau1us.n100", grid_a[0 * ncols + ncols - 1])
+      .observable("pm_deg.tau100us.n2", grid_a[4 * ncols])
+      .observable("pm_deg.tau100us.n100", grid_a[4 * ncols + ncols - 1])
+      .observable("pm_deg.tau100us.min",
+                  *std::min_element(grid_a.begin() + 4 * ncols, grid_a.end()));
+  // (b) shrinking R_AI at tau*=100us recovers margin at small N: compare the
+  // N=2 cell at R_AI=40 Mb/s (row 0) vs 5 Mb/s (row 3).
+  manifest.observable("pm_gain_deg.rai40to5.n2",
+                      grid_b[3 * ncols] - grid_b[0 * ncols]);
+  // (c) widening Kmax likewise: N=2 cell at Kmax=200KB (row 0) vs 1MB (row 2).
+  manifest.observable("pm_gain_deg.kmax200to1000.n2",
+                      grid_c[2 * ncols] - grid_c[0 * ncols]);
+  manifest.write_if_requested();
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "bench_common.hpp"
 #include "control/timely_analysis.hpp"
+#include "obs/manifest.hpp"
 
 using namespace ecnd;
 
@@ -78,5 +79,33 @@ int main() {
     std::cout << "\nmargin crosses zero between the previous row and N="
               << zero_crossing << " (paper: ~40 flows)\n";
   }
+
+  obs::RunManifest manifest("fig11");
+  manifest.param("flow_counts_min", flow_counts.front())
+      .param("flow_counts_max", flow_counts.back());
+  auto margin_at = [&](int n) -> std::optional<double> {
+    for (const MarginRow& row : rows) {
+      if (row.num_flows == n && row.interior) {
+        return row.report.phase_margin_deg;
+      }
+    }
+    return std::nullopt;
+  };
+  manifest.observable("pm_deg.n2", margin_at(2))
+      .observable("pm_deg.n16", margin_at(16))
+      .observable("pm_deg.n64", margin_at(64))
+      .observable("zero_crossing_n",
+                  zero_crossing > 0
+                      ? std::optional<double>(zero_crossing)
+                      : std::nullopt)
+      .observable("q_star_kb.n2", rows.front().fp.q_star_pkts)
+      .observable("q_star_kb.n64",
+                  [&]() -> std::optional<double> {
+                    for (const MarginRow& row : rows) {
+                      if (row.num_flows == 64) return row.fp.q_star_pkts;
+                    }
+                    return std::nullopt;
+                  }());
+  manifest.write_if_requested();
   return 0;
 }

@@ -6,17 +6,26 @@
 //   (c) beyond the Figure-11 stability boundary the queue oscillates.
 
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "control/timely_analysis.hpp"
 #include "core/stats.hpp"
 #include "exp/scenarios.hpp"
+#include "obs/analyzers.hpp"
+#include "obs/manifest.hpp"
 
 using namespace ecnd;
 
 int main() {
   bench::banner("Figure 12 - Patched TIMELY convergence and stability",
                 "unequal starts converge to fair share; stable up to ~40 flows");
+
+  obs::RunManifest manifest("fig12");
+  manifest.param("convergence_flows", 2)
+      .param("convergence_duration_s", 0.3)
+      .param("sweep_flow_counts", "2,8,16,32,48")
+      .param("sweep_duration_s", 0.25);
 
   {
     exp::LongFlowConfig config;
@@ -30,15 +39,33 @@ int main() {
               << " Gb/s\n";
     std::cout << "  f1: " << bench::shape_line(result.rate_gbps[1], 0.2, 0.3, 1.0)
               << " Gb/s\n";
-    std::cout << "  final split " << result.rate_gbps[0].mean_over(0.25, 0.3)
-              << " / " << result.rate_gbps[1].mean_over(0.25, 0.3)
-              << " Gb/s, queue "
+    const double r0 = result.rate_gbps[0].mean_over(0.25, 0.3);
+    const double r1 = result.rate_gbps[1].mean_over(0.25, 0.3);
+    std::cout << "  final split " << r0 << " / " << r1 << " Gb/s, queue "
               << result.queue_bytes.mean_over(0.25, 0.3) / 1e3 << " KB\n\n";
+
+    // Convergence to fair share: when does the head-start flow settle into a
+    // +/-1.5 Gb/s band around 5 Gb/s and stay there?
+    obs::SettlingParams sp;
+    sp.target = 5.0;
+    sp.epsilon = 1.5;
+    sp.min_dwell = 0.05;
+    const auto settle =
+        obs::settling_time(result.rate_gbps[0], sp, 0.0, 0.3);
+    manifest.observable("rate0_gbps.case_a", r0)
+        .observable("rate1_gbps.case_a", r1)
+        .observable("jain_tail.case_a",
+                    require_stat(jain_fairness({r0, r1}), "jain(a)"))
+        .observable("rate0_settled.case_a", settle.settled)
+        .observable("rate0_settle_s.case_a",
+                    settle.settled ? std::optional<double>(settle.settle_t)
+                                   : std::nullopt);
   }
 
   std::cout << "(b,c) flow-count sweep:\n";
   Table table({"N", "queue mean (KB)", "q* Eq.31 (KB)", "queue std (KB)",
                "Jain", "util", "verdict"});
+  int stable_rows = 0;
   for (int n : {2, 8, 16, 32, 48}) {
     exp::LongFlowConfig config;
     config.protocol = exp::Protocol::kPatchedTimely;
@@ -52,16 +79,30 @@ int main() {
     for (const auto& series : result.rate_gbps) {
       rates.push_back(series.mean_over(0.2, 0.25));
     }
+    const double mean_kb = result.queue_bytes.mean_over(0.15, 0.25) / 1e3;
     const double std_kb = result.queue_bytes.stddev_over(0.15, 0.25) / 1e3;
+    const double jain = require_stat(jain_fairness(rates), "jain(rates)");
+    const bool stable = std_kb < 0.25 * fp.q_star_pkts;
+    stable_rows += stable;
     table.row()
         .cell(n)
-        .cell(result.queue_bytes.mean_over(0.15, 0.25) / 1e3, 1)
+        .cell(mean_kb, 1)
         .cell(fp.q_star_pkts, 1)
         .cell(std_kb, 1)
-        .cell(require_stat(jain_fairness(rates), "jain(rates)"), 3)
+        .cell(jain, 3)
         .cell(result.utilization, 3)
-        .cell(std_kb < 0.25 * fp.q_star_pkts ? "stable" : "UNSTABLE");
+        .cell(stable ? "stable" : "UNSTABLE");
+
+    const std::string suffix = ".n" + std::to_string(n);
+    manifest.observable("queue_mean_kb" + suffix, mean_kb)
+        .observable("q_star_kb" + suffix, fp.q_star_pkts)
+        .observable("queue_ratio" + suffix,
+                    fp.q_star_pkts > 0.0 ? mean_kb / fp.q_star_pkts : 0.0)
+        .observable("jain" + suffix, jain)
+        .observable("utilization" + suffix, result.utilization);
   }
   table.print(std::cout);
+  manifest.observable("stable_rows", static_cast<std::int64_t>(stable_rows));
+  manifest.write_if_requested();
   return 0;
 }

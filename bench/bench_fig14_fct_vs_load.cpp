@@ -10,12 +10,15 @@
 // large and variable); patched TIMELY narrows but does not close the gap;
 // DCQCN stays bounded by the RED band.
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "exp/scenarios.hpp"
+#include "obs/manifest.hpp"
 
 using namespace ecnd;
 
@@ -55,6 +58,12 @@ int main() {
       0, &timing);
   bench::report_timing("fig14", timing);
 
+  obs::RunManifest manifest("fig14");
+  manifest.param("flows", flows)
+      .param("seed", std::int64_t{20161212})
+      .param("quick", quick != nullptr)
+      .param("loads", "0.2,0.4,0.6,0.8");
+
   Table table({"load", "protocol", "median (us)", "p90 (us)", "p99 (us)",
                "small flows", "queue mean (KB)", "drops"});
   for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -68,8 +77,19 @@ int main() {
         .cell(static_cast<long long>(result.small.count))
         .cell(result.queue_bytes.mean_over(0.0, 1e9) / 1e3, 1)
         .cell(static_cast<long long>(result.drops));
+
+    char key[64];
+    std::snprintf(key, sizeof(key), ".%s.load%02d",
+                  exp::protocol_key(grid[i].protocol),
+                  static_cast<int>(grid[i].load * 10 + 0.5));
+    manifest.observable("fct_median_us" + std::string(key),
+                        result.small.median_us)
+        .observable("fct_p90_us" + std::string(key), result.small.p90_us)
+        .observable("queue_mean_kb" + std::string(key),
+                    result.queue_bytes.mean_over(0.0, 1e9) / 1e3);
   }
   table.print(std::cout);
+  manifest.write_if_requested();
   std::cout << "\n(set ECND_QUICK=1 for a faster, noisier run; ECND_THREADS=k"
                " caps the sweep's workers)\n";
   return 0;

@@ -7,13 +7,17 @@
 // owns its model, jitter process and traces — so the sweep runs on the
 // parallel engine into pre-sized slots.
 
+#include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "fluid/dcqcn_model.hpp"
 #include "fluid/fluid_model.hpp"
 #include "fluid/timely_model.hpp"
+#include "obs/analyzers.hpp"
+#include "obs/manifest.hpp"
 
 using namespace ecnd;
 
@@ -29,6 +33,11 @@ struct RowData {
   double queue_std_kb = 0.0;
   double rate0_std_gbps = 0.0;
   double sum_rate_gbps = 0.0;
+  // Limit-cycle signature of the steady-state queue (reference = window
+  // mean, 2KB hysteresis to ignore integrator ripple): a destabilized run
+  // shows a large peak-to-peak swing at a well-defined period.
+  double osc_pp_kb = 0.0;
+  double osc_period_us = 0.0;
 };
 
 RowData reduce(const fluid::FluidRun& run) {
@@ -38,6 +47,10 @@ RowData reduce(const fluid::FluidRun& run) {
   row.rate0_std_gbps = run.flow_rate_gbps[0].stddev_over(0.2, 0.3);
   row.sum_rate_gbps = run.flow_rate_gbps[0].mean_over(0.2, 0.3) +
                       run.flow_rate_gbps[1].mean_over(0.2, 0.3);
+  const auto osc =
+      obs::oscillation(run.queue_bytes, 0.2, 0.3, std::nullopt, 2e3);
+  row.osc_pp_kb = osc.peak_to_peak / 1e3;
+  row.osc_period_us = osc.period * 1e6;
   return row;
 }
 
@@ -79,7 +92,13 @@ int main() {
   bench::report_timing("fig20", timing);
 
   Table table({"protocol", "jitter", "queue mean (KB)", "queue std (KB)",
-               "rate0 std (Gb/s)", "sum rate (Gb/s)"});
+               "rate0 std (Gb/s)", "sum rate (Gb/s)", "osc p2p (KB)"});
+  obs::RunManifest manifest("fig20");
+  manifest.param("flows", 2)
+      .param("duration_s", 0.3)
+      .param("jitters_us", "0,50,100")
+      .param("osc_window_t0_s", 0.2)
+      .param("osc_window_t1_s", 0.3);
   for (std::size_t i = 0; i < grid.size(); ++i) {
     table.row()
         .cell(grid[i].dcqcn ? "DCQCN" : "Patched TIMELY")
@@ -87,10 +106,26 @@ int main() {
         .cell(rows[i].queue_mean_kb, 1)
         .cell(rows[i].queue_std_kb, 2)
         .cell(rows[i].rate0_std_gbps, 3)
-        .cell(rows[i].sum_rate_gbps, 2);
+        .cell(rows[i].sum_rate_gbps, 2)
+        .cell(rows[i].osc_pp_kb, 1);
+
+    char key[48];
+    std::snprintf(key, sizeof(key), ".%s.jit%03d",
+                  grid[i].dcqcn ? "dcqcn" : "patched_timely",
+                  static_cast<int>(grid[i].jitter_us));
+    manifest.observable("queue_std_kb" + std::string(key),
+                        rows[i].queue_std_kb)
+        .observable("rate0_std_gbps" + std::string(key),
+                    rows[i].rate0_std_gbps)
+        .observable("osc_pp_kb" + std::string(key), rows[i].osc_pp_kb)
+        .observable("osc_period_us" + std::string(key),
+                    rows[i].osc_period_us)
+        .observable("sum_rate_gbps" + std::string(key),
+                    rows[i].sum_rate_gbps);
   }
   table.print(std::cout);
   std::cout << "\nDelay-based control sees the jitter twice: as staleness and"
                " as corruption of the signal itself (§5.2).\n";
+  manifest.write_if_requested();
   return 0;
 }

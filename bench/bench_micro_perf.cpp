@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "core/parallel.hpp"
 #include "exp/scenarios.hpp"
@@ -134,8 +135,15 @@ double measure_sweep_tasks_per_s() {
   return static_cast<double>(kTasks) / elapsed_s(t0);
 }
 
-/// Write the ECND_BENCH_JSON perf baseline. Values are wall-clock and
-/// machine-dependent: compare against BENCH_obs.json on the same box only.
+/// Write the ECND_BENCH_JSON perf baseline (schema ecnd-bench-v2).
+///
+/// Values are wall-clock and machine-dependent: compare against
+/// BENCH_obs.json on the same box only, which is why the machine descriptor
+/// records hardware shape (arch, hw threads) but never a hostname — baseline
+/// files must be committable without leaking where they were measured.
+/// Each metric carries its own relative tolerance for ecnd-report: the two
+/// tight timing loops are fairly repeatable (50%), the sweep-dispatch
+/// throughput is scheduling-noise dominated (75%).
 void write_baseline(const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -145,14 +153,28 @@ void write_baseline(const char* path) {
   const double sim_ns = measure_ns_per_sim_event();
   const double rk4_ns = measure_ns_per_rk4_step();
   const double tasks_per_s = measure_sweep_tasks_per_s();
+  const char* git_sha = std::getenv("ECND_GIT_SHA");
+#if defined(__x86_64__)
+  const char* arch = "x86_64";
+#elif defined(__aarch64__)
+  const char* arch = "aarch64";
+#else
+  const char* arch = "unknown";
+#endif
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"ecnd-bench-v1\",\n"
-               "  \"ns_per_sim_event\": %.1f,\n"
-               "  \"ns_per_rk4_step\": %.1f,\n"
-               "  \"sweep_tasks_per_s\": %.0f\n"
+               "  \"schema\": \"ecnd-bench-v2\",\n"
+               "  \"git_sha\": \"%s\",\n"
+               "  \"machine\": {\"arch\": \"%s\", \"hw_threads\": %u},\n"
+               "  \"metrics\": {\n"
+               "    \"ns_per_sim_event\": {\"value\": %.1f, \"tolerance\": 0.5},\n"
+               "    \"ns_per_rk4_step\": {\"value\": %.1f, \"tolerance\": 0.5},\n"
+               "    \"sweep_tasks_per_s\": {\"value\": %.0f, \"tolerance\": 0.75}\n"
+               "  }\n"
                "}\n",
-               sim_ns, rk4_ns, tasks_per_s);
+               git_sha != nullptr ? git_sha : "unknown", arch,
+               std::thread::hardware_concurrency(), sim_ns, rk4_ns,
+               tasks_per_s);
   std::fclose(f);
   std::fprintf(stderr,
                "[bench] baseline -> %s (sim event %.0fns, rk4 step %.0fns, "

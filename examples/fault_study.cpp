@@ -18,11 +18,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "core/parallel.hpp"
 #include "core/stats.hpp"
 #include "exp/scenarios.hpp"
+#include "obs/manifest.hpp"
 
 using namespace ecnd;
 
@@ -150,5 +152,31 @@ int main(int argc, char** argv) {
                 row.queue_mean_kb, row.queue_max_kb,
                 static_cast<unsigned long long>(row.feedback_dropped));
   }
+
+  // Manifest: one jain/utilization observable per (protocol, loss) cell plus
+  // the §5.2 contrast the study exists to show — DCQCN's fairness floor
+  // across the whole loss sweep vs TIMELY's.
+  obs::RunManifest manifest("fault_study");
+  manifest.param("flows", flows)
+      .param("duration_s", duration_s)
+      .param("seed", seed)
+      .param("losses", "0,0.001,0.005,0.01,0.02,0.05");
+  double jain_floor_dcqcn = 1.0, jain_floor_timely = 1.0;
+  for (const Row& row : rows) {
+    char key[48];
+    std::snprintf(key, sizeof(key), ".%s.loss%04d",
+                  exp::protocol_key(row.protocol),
+                  static_cast<int>(row.loss * 10000 + 0.5));
+    manifest.observable("jain" + std::string(key), row.jain)
+        .observable("utilization" + std::string(key), row.utilization)
+        .observable("feedback_dropped" + std::string(key),
+                    row.feedback_dropped);
+    double& floor = row.protocol == exp::Protocol::kDcqcn ? jain_floor_dcqcn
+                                                          : jain_floor_timely;
+    floor = std::min(floor, row.jain);
+  }
+  manifest.observable("jain_floor.dcqcn", jain_floor_dcqcn)
+      .observable("jain_floor.timely", jain_floor_timely);
+  manifest.write_if_requested();
   return 0;
 }

@@ -2,7 +2,10 @@
 # Regenerate BENCH_obs.json, the machine-readable perf baseline for the two
 # engines (ns per packet-simulator event, ns per guarded RK4 step, sweep-task
 # dispatch throughput). Values are wall-clock: compare runs from the same
-# machine only. The google-benchmark suite is skipped (--benchmark_filter
+# machine only — the v2 schema records a hostname-free machine descriptor
+# (arch + hw threads) and the git SHA of the measured tree, plus a per-metric
+# relative tolerance that ecnd-report uses when comparing a fresh run against
+# this snapshot. The google-benchmark suite is skipped (--benchmark_filter
 # matches nothing); only the dedicated baseline loops run.
 #
 # Usage: scripts/bench_baseline.sh [output.json]   (default: BENCH_obs.json)
@@ -15,7 +18,9 @@ out="${1:-BENCH_obs.json}"
 cmake -B build -S . > /dev/null
 cmake --build build -j --target bench_micro_perf
 
-ECND_BENCH_JSON="$out" ./build/bench/bench_micro_perf --benchmark_filter='^$'
+git_sha="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+ECND_GIT_SHA="$git_sha" ECND_BENCH_JSON="$out" \
+  ./build/bench/bench_micro_perf --benchmark_filter='^$'
 
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
-echo "bench_baseline.sh: wrote $out"
+echo "bench_baseline.sh: wrote $out (git $git_sha)"

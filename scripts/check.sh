@@ -13,7 +13,12 @@
 # counts, and stdout CSV byte-identical with obs armed, idle, and compiled out
 # (-DECND_OBS=OFF in its own build tree).
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke]
+# --report runs the quick figure set with ECND_MANIFEST armed, gates the
+# resulting manifests against bench/expectations.json via ecnd-report, and
+# checks the manifest contract: bit-identical at ECND_THREADS=1 vs 4, stdout
+# untouched by the writer, and no manifest file under -DECND_OBS=OFF.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke|--report]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,7 +37,8 @@ run_tests() {
 
 mode="${1:-all}"
 
-if [[ "$mode" != "--sanitize-only" && "$mode" != "--tsan-only" && "$mode" != "--obs-smoke" ]]; then
+if [[ "$mode" != "--sanitize-only" && "$mode" != "--tsan-only" \
+      && "$mode" != "--obs-smoke" && "$mode" != "--report" ]]; then
   echo "== plain build + tests (serial and threaded sweep paths) =="
   build_suite build
   run_tests build 1
@@ -99,6 +105,72 @@ EOF
   cmp "$tmp/plain.csv" "$tmp/off.csv"
 
   echo "obs smoke: all checks passed"
+fi
+
+if [[ "$mode" == "--report" ]]; then
+  echo "== regression report (quick figure set + ecnd-report) =="
+  build_suite build
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+
+  # The quick figure set: every manifest-wired harness, sized so the whole
+  # sweep takes tens of seconds. bench/expectations.json is calibrated for
+  # exactly these sizes (ECND_QUICK=1 where honored; fault_study 4 0.05 1).
+  run_quick_set() {
+    local threads="$1" mdir="$2" outdir="$3"
+    mkdir -p "$mdir" "$outdir"
+    local t="$threads" q="ECND_QUICK=1"
+    ECND_THREADS="$t" ECND_MANIFEST="$mdir/fig02.json" \
+      build/bench/bench_fig02_dcqcn_validation > "$outdir/fig02.csv" 2>/dev/null
+    ECND_THREADS="$t" ECND_MANIFEST="$mdir/fig03.json" \
+      build/bench/bench_fig03_dcqcn_phase_margin > "$outdir/fig03.csv" 2>/dev/null
+    ECND_THREADS="$t" ECND_MANIFEST="$mdir/fig09.json" \
+      build/bench/bench_fig09_timely_unfairness > "$outdir/fig09.csv" 2>/dev/null
+    ECND_THREADS="$t" ECND_MANIFEST="$mdir/fig11.json" \
+      build/bench/bench_fig11_patched_phase_margin > "$outdir/fig11.csv" 2>/dev/null
+    ECND_THREADS="$t" ECND_MANIFEST="$mdir/fig12.json" \
+      build/bench/bench_fig12_patched_timely > "$outdir/fig12.csv" 2>/dev/null
+    env "$q" ECND_THREADS="$t" ECND_MANIFEST="$mdir/fig14.json" \
+      build/bench/bench_fig14_fct_vs_load > "$outdir/fig14.csv" 2>/dev/null
+    env "$q" ECND_THREADS="$t" ECND_MANIFEST="$mdir/fig16.json" \
+      build/bench/bench_fig16_queue_timeseries > "$outdir/fig16.csv" 2>/dev/null
+    ECND_THREADS="$t" ECND_MANIFEST="$mdir/fig20.json" \
+      build/bench/bench_fig20_jitter > "$outdir/fig20.csv" 2>/dev/null
+    ECND_THREADS="$t" ECND_MANIFEST="$mdir/fault_study.json" \
+      build/examples/fault_study 4 0.05 1 > "$outdir/fault_study.csv" 2>/dev/null
+  }
+
+  echo "-- quick figure set, ECND_THREADS=1"
+  run_quick_set 1 "$tmp/manifests1" "$tmp/out1"
+  echo "-- quick figure set, ECND_THREADS=4"
+  run_quick_set 4 "$tmp/manifests4" "$tmp/out4"
+
+  echo "-- manifests bit-identical across thread counts"
+  for f in "$tmp"/manifests1/*.json; do
+    cmp "$f" "$tmp/manifests4/$(basename "$f")"
+  done
+
+  echo "-- stdout untouched by the manifest writer (fig02 armed vs idle)"
+  build/bench/bench_fig02_dcqcn_validation > "$tmp/fig02_idle.csv" 2>/dev/null
+  cmp "$tmp/out1/fig02.csv" "$tmp/fig02_idle.csv"
+
+  echo "-- no manifest under -DECND_OBS=OFF"
+  cmake -B build-obs-off -S . -DECND_OBS=OFF > /dev/null
+  cmake --build build-obs-off -j --target bench_fig02_dcqcn_validation
+  ECND_MANIFEST="$tmp/should_not_exist.json" \
+    build-obs-off/bench/bench_fig02_dcqcn_validation > /dev/null 2>&1
+  if [[ -e "$tmp/should_not_exist.json" ]]; then
+    echo "ERROR: -DECND_OBS=OFF build wrote a manifest" >&2
+    exit 1
+  fi
+
+  echo "-- ecnd-report gate (bench/expectations.json)"
+  build/src/report/ecnd-report \
+    --expectations bench/expectations.json \
+    --manifest-dir "$tmp/manifests1" \
+    --bench-baseline BENCH_obs.json \
+    --out REPORT.md
+  echo "report: wrote REPORT.md"
 fi
 
 echo "check.sh: all requested suites passed"

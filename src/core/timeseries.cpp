@@ -118,7 +118,14 @@ TimeSeries TimeSeries::resampled(std::size_t n, double t0, double t1) const {
   if (samples_.empty() || n == 0) return out;
   t0 = std::max(t0, first_time());
   t1 = std::min(t1, last_time());
-  if (t1 < t0) return out;
+  if (t1 < t0) {
+    // Window entirely outside the span: clamp to the nearest endpoint so a
+    // non-empty series always yields at least one sample (analyzers window
+    // their inputs and must not lose the signal to an off-by-one window).
+    const double t = t0 > last_time() ? last_time() : first_time();
+    out.push(t, value_at(t));
+    return out;
+  }
   if (n == 1 || t1 <= t0) {
     out.push(t0, value_at(t0));
     return out;

@@ -56,7 +56,11 @@ class TimeSeries {
   /// Evenly resampled copy with n points across the full span.
   TimeSeries resampled(std::size_t n) const;
   /// Evenly resampled copy with n points across [t0, t1] (clamped to the
-  /// series' span), so a rendering matches windowed statistics.
+  /// series' span), so a rendering matches windowed statistics. Degenerate
+  /// requests stay well-defined: n == 0 (or an empty series) yields an empty
+  /// copy; n == 1, t0 == t1, or a window that clamps to a single instant
+  /// yields exactly one sample; a window entirely outside the span clamps to
+  /// the nearest endpoint.
   TimeSeries resampled(std::size_t n, double t0, double t1) const;
 
   /// Keep at most every k-th sample (decimation for long traces). k >= 1.

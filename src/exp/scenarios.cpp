@@ -56,6 +56,18 @@ const char* protocol_name(Protocol protocol) {
   return "?";
 }
 
+const char* protocol_key(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kDcqcn:
+      return "dcqcn";
+    case Protocol::kTimely:
+      return "timely";
+    case Protocol::kPatchedTimely:
+      return "patched_timely";
+  }
+  return "unknown";
+}
+
 LongFlowResult run_long_flows(const LongFlowConfig& config) {
   sim::Network net(config.seed);
 

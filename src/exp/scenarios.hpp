@@ -19,6 +19,9 @@ namespace ecnd::exp {
 enum class Protocol { kDcqcn, kTimely, kPatchedTimely };
 
 const char* protocol_name(Protocol protocol);
+/// Identifier-safe lowercase form ("dcqcn", "timely", "patched_timely") for
+/// manifest observable keys and CSV columns.
+const char* protocol_key(Protocol protocol);
 
 /// Long-running-flow scenario on the single-switch validation topology
 /// (Figures 2, 5, 8, 9, 10, 12, 17): N senders blast one receiver and we

@@ -1,0 +1,348 @@
+#include "obs/analyzers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+// NOTE: this file deliberately uses only the inline accessors of
+// core::TimeSeries (samples(), size(), empty()): ecnd_core links ecnd_obs
+// PUBLICly, so the obs library must not need symbols *from* ecnd_core.
+
+namespace ecnd::obs {
+
+namespace {
+
+/// Interpolated time where the segment (t0,v0)->(t1,v1) crosses `level`.
+/// Falls back to t1 on a vertical/degenerate segment.
+double cross_time(double t0, double v0, double t1, double v1, double level) {
+  const double dv = v1 - v0;
+  if (dv == 0.0) return t1;
+  const double w = (level - v0) / dv;
+  if (w <= 0.0) return t0;
+  if (w >= 1.0) return t1;
+  return t0 + w * (t1 - t0);
+}
+
+/// Replay the samples of `series` with t in [t0, t1] through `fn(t, v)`.
+template <typename Fn>
+void replay_window(const TimeSeries& series, double t0, double t1, Fn&& fn) {
+  for (const Sample& s : series.samples()) {
+    if (s.t < t0) continue;
+    if (s.t > t1) break;
+    fn(s.t, s.value);
+  }
+}
+
+/// Linear interpolation of a raw sample vector at time t (clamped to the
+/// span). Local twin of TimeSeries::value_at, kept here to avoid a link
+/// dependency on ecnd_core (see the note at the top of the file).
+double lerp_at(const std::vector<Sample>& samples, double t) {
+  if (samples.empty()) return 0.0;
+  if (t <= samples.front().t) return samples.front().value;
+  if (t >= samples.back().t) return samples.back().value;
+  const auto it = std::lower_bound(
+      samples.begin(), samples.end(), t,
+      [](const Sample& s, double tt) { return s.t < tt; });
+  const Sample& hi = *it;
+  const Sample& lo = *(it - 1);
+  const double span = hi.t - lo.t;
+  if (span <= 0.0) return hi.value;
+  return lo.value + (t - lo.t) / span * (hi.value - lo.value);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SettlingTime
+// ---------------------------------------------------------------------------
+
+void SettlingTime::push(double t, double v) {
+  const bool inside = std::abs(v - p_.target) <= p_.epsilon;
+  if (!any_) {
+    any_ = true;
+    first_t_ = t;
+    inside_ = inside;
+    entry_t_ = t;
+    last_outside_t_ = t;  // meaningful only once an outside sample is seen
+  } else if (inside && !inside_) {
+    // Entering the band: interpolate the boundary crossing on the side the
+    // signal came from.
+    const double boundary =
+        last_v_ > p_.target ? p_.target + p_.epsilon : p_.target - p_.epsilon;
+    entry_t_ = cross_time(last_t_, last_v_, t, v, boundary);
+    inside_ = true;
+  } else if (!inside && inside_) {
+    inside_ = false;
+  }
+  if (!inside) last_outside_t_ = t;
+  last_t_ = t;
+  last_v_ = v;
+}
+
+SettlingResult SettlingTime::result() const {
+  SettlingResult r;
+  if (!any_) return r;
+  r.final_value = last_v_;
+  r.last_outside_t = last_outside_t_;
+  if (inside_) {
+    r.dwell = last_t_ - entry_t_;
+    if (r.dwell >= p_.min_dwell) {
+      r.settled = true;
+      r.settle_t = entry_t_;
+    }
+  }
+  return r;
+}
+
+SettlingResult settling_time(const TimeSeries& series, SettlingParams params,
+                             double t0, double t1) {
+  SettlingTime probe(params);
+  replay_window(series, t0, t1, [&](double t, double v) { probe.push(t, v); });
+  return probe.result();
+}
+
+// ---------------------------------------------------------------------------
+// Overshoot
+// ---------------------------------------------------------------------------
+
+void Overshoot::push(double t, double v) {
+  if (!any_) {
+    any_ = true;
+    first_t_ = t;
+    peak_t_ = t;
+    peak_value_ = v;
+    max_excursion_ = std::max(0.0, v - target_);
+  } else {
+    if (v - target_ > max_excursion_) {
+      max_excursion_ = v - target_;
+      peak_t_ = t;
+      peak_value_ = v;
+    }
+    // Time above target on this segment, splitting it at the crossing when
+    // the two endpoints straddle the target.
+    const double dt = t - last_t_;
+    if (dt > 0.0) {
+      const bool was_above = last_v_ > target_;
+      const bool is_above = v > target_;
+      if (was_above && is_above) {
+        time_above_ += dt;
+      } else if (was_above != is_above) {
+        const double tc = cross_time(last_t_, last_v_, t, v, target_);
+        time_above_ += was_above ? tc - last_t_ : t - tc;
+      }
+    }
+  }
+  last_t_ = t;
+  last_v_ = v;
+}
+
+OvershootResult Overshoot::result() const {
+  OvershootResult r;
+  if (!any_) return r;
+  r.max_excursion = std::max(0.0, max_excursion_);
+  r.peak_t = peak_t_;
+  r.peak_value = peak_value_;
+  const double span = last_t_ - first_t_;
+  r.time_above_fraction = span > 0.0 ? time_above_ / span
+                                     : (last_v_ > target_ ? 1.0 : 0.0);
+  return r;
+}
+
+OvershootResult overshoot(const TimeSeries& series, double target, double t0,
+                          double t1) {
+  Overshoot probe(target);
+  replay_window(series, t0, t1, [&](double t, double v) { probe.push(t, v); });
+  return probe.result();
+}
+
+// ---------------------------------------------------------------------------
+// OscillationProbe
+// ---------------------------------------------------------------------------
+
+void OscillationProbe::push(double t, double v) {
+  if (!any_) {
+    any_ = true;
+    first_t_ = t;
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    area_ += 0.5 * (v + last_v_) * (t - last_t_);
+  }
+
+  // Hysteresis state machine: the side only flips once the signal is a full
+  // `hysteresis` beyond the reference on the other side.
+  Side side = side_;
+  if (v > p_.reference + p_.hysteresis) {
+    side = Side::kAbove;
+  } else if (v < p_.reference - p_.hysteresis) {
+    side = Side::kBelow;
+  }
+  if (side != side_ && side_ != Side::kUnknown && side != Side::kUnknown) {
+    const double tc = cross_time(last_t_, last_v_, t, v, p_.reference);
+    if (crossings_ == 0) first_cross_t_ = tc;
+    last_cross_t_ = tc;
+    ++crossings_;
+  }
+  side_ = side;
+  last_t_ = t;
+  last_v_ = v;
+}
+
+OscillationResult OscillationProbe::result() const {
+  OscillationResult r;
+  if (!any_) return r;
+  r.min = min_;
+  r.max = max_;
+  r.peak_to_peak = max_ - min_;
+  r.crossings = crossings_;
+  const double span = last_t_ - first_t_;
+  r.mean = span > 0.0 ? area_ / span : last_v_;
+  if (crossings_ >= 2) {
+    // Each adjacent crossing pair spans half a period.
+    r.period = 2.0 * (last_cross_t_ - first_cross_t_) /
+               static_cast<double>(crossings_ - 1);
+  }
+  return r;
+}
+
+OscillationResult oscillation(const TimeSeries& series, double t0, double t1,
+                              std::optional<double> reference,
+                              double hysteresis) {
+  double ref;
+  if (reference) {
+    ref = *reference;
+  } else {
+    // First pass: time-weighted mean of the window as the crossing level.
+    double area = 0.0, span = 0.0;
+    bool any = false;
+    double last_t = 0.0, last_v = 0.0, fallback = 0.0;
+    replay_window(series, t0, t1, [&](double t, double v) {
+      if (any) {
+        area += 0.5 * (v + last_v) * (t - last_t);
+        span += t - last_t;
+      }
+      any = true;
+      fallback = v;
+      last_t = t;
+      last_v = v;
+    });
+    ref = span > 0.0 ? area / span : fallback;
+  }
+  OscillationProbe probe({.reference = ref, .hysteresis = hysteresis});
+  replay_window(series, t0, t1, [&](double t, double v) { probe.push(t, v); });
+  return probe.result();
+}
+
+// ---------------------------------------------------------------------------
+// WindowedFairness
+// ---------------------------------------------------------------------------
+
+std::optional<double> jain_index(const double* values, std::size_t n) {
+  if (n == 0) return std::nullopt;
+  double sum = 0.0, sum2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += values[i];
+    sum2 += values[i] * values[i];
+  }
+  if (sum2 == 0.0) return std::nullopt;
+  return sum * sum / (static_cast<double>(n) * sum2);
+}
+
+WindowedFairness::WindowedFairness(std::size_t flows, double window)
+    : flows_(flows),
+      window_(window),
+      last_rates_(flows, 0.0),
+      integral_(flows, 0.0) {
+  if (flows == 0) throw std::invalid_argument("WindowedFairness: 0 flows");
+  if (!(window > 0.0)) {
+    throw std::invalid_argument("WindowedFairness: window must be > 0");
+  }
+}
+
+void WindowedFairness::close_window(double end_t) {
+  const double span = end_t - window_start_;
+  std::vector<double> means(flows_, 0.0);
+  if (span > 0.0) {
+    for (std::size_t f = 0; f < flows_; ++f) means[f] = integral_[f] / span;
+  } else {
+    means = last_rates_;
+  }
+  const std::optional<double> jain = jain_index(means.data(), flows_);
+  // An all-idle window has no fairness; record a NaN-free sentinel of 0? No:
+  // skip it — a window with no traffic is not an (un)fairness observation.
+  if (jain) windows_.push_back({end_t, *jain});
+  std::fill(integral_.begin(), integral_.end(), 0.0);
+  window_start_ = end_t;
+}
+
+void WindowedFairness::push(double t, const double* rates, std::size_t n) {
+  if (n != flows_) {
+    throw std::invalid_argument("WindowedFairness: rate vector size mismatch");
+  }
+  if (!any_) {
+    any_ = true;
+    window_start_ = t;
+    last_t_ = t;
+    std::copy(rates, rates + n, last_rates_.begin());
+    return;
+  }
+  double seg_start = last_t_;
+  std::vector<double>& prev = last_rates_;
+  // Split the segment [last_t_, t] at every window boundary it crosses,
+  // interpolating the rate vector at each boundary.
+  while (t - window_start_ >= window_) {
+    const double boundary = window_start_ + window_;
+    const double seg = t - seg_start;
+    const double w = seg > 0.0 ? (boundary - seg_start) / seg : 0.0;
+    for (std::size_t f = 0; f < flows_; ++f) {
+      const double at_boundary = prev[f] + w * (rates[f] - prev[f]);
+      integral_[f] += 0.5 * (prev[f] + at_boundary) * (boundary - seg_start);
+      prev[f] = at_boundary;
+    }
+    seg_start = boundary;
+    close_window(boundary);
+  }
+  for (std::size_t f = 0; f < flows_; ++f) {
+    integral_[f] += 0.5 * (prev[f] + rates[f]) * (t - seg_start);
+    prev[f] = rates[f];
+  }
+  last_t_ = t;
+}
+
+FairnessResult WindowedFairness::finish() {
+  if (any_ && last_t_ > window_start_) close_window(last_t_);
+  FairnessResult r;
+  r.windows = windows_;
+  for (const Sample& w : windows_) {
+    r.last = w.value;
+    r.min = r.min ? std::min(*r.min, w.value) : w.value;
+  }
+  return r;
+}
+
+FairnessResult windowed_jain(const std::vector<const TimeSeries*>& flows,
+                             double window, double dt, double t0, double t1) {
+  if (flows.empty()) return {};
+  if (!(dt > 0.0)) throw std::invalid_argument("windowed_jain: dt must be > 0");
+  for (const TimeSeries* f : flows) {
+    if (f == nullptr || f->empty()) {
+      throw std::invalid_argument("windowed_jain: null or empty flow series");
+    }
+  }
+  WindowedFairness probe(flows.size(), window);
+  std::vector<double> rates(flows.size(), 0.0);
+  // Uniform grid: analyzers must be a function of (series, window), never of
+  // each flow's private sampling jitter.
+  const auto steps = static_cast<std::size_t>(std::floor((t1 - t0) / dt));
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double t = t0 + static_cast<double>(i) * dt;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      rates[f] = lerp_at(flows[f]->samples(), t);
+    }
+    probe.push(t, rates.data(), rates.size());
+  }
+  return probe.finish();
+}
+
+}  // namespace ecnd::obs

@@ -1,0 +1,174 @@
+#include "obs/manifest.hpp"
+
+#if !defined(ECND_OBS_DISABLED)
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace ecnd::obs {
+
+namespace {
+
+/// Shortest-round-trip decimal rendering: deterministic across platforms
+/// using the same IEEE doubles, unlike printf("%g") with locale and
+/// precision choices. Non-finite values render as JSON null.
+std::string render_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "null";
+  return std::string(buf, end);
+}
+
+std::string render_int(std::int64_t v) { return std::to_string(v); }
+std::string render_uint(std::uint64_t v) { return std::to_string(v); }
+
+std::string render_string(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// FNV-1a 64-bit over the default (sim-domain) metrics dump: a compact,
+/// deterministic fingerprint of every counter/gauge/histogram the run
+/// produced. Two runs with the same digest did the same simulated work.
+std::uint64_t metrics_digest() {
+  std::ostringstream dump;
+  dump_metrics_json(dump);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : dump.str()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void write_section(std::ostream& out, const char* name,
+                   const std::map<std::string, std::string>& entries,
+                   bool trailing_comma) {
+  out << "  \"" << name << "\": {";
+  const char* sep = "";
+  for (const auto& [key, rendered] : entries) {
+    out << sep << "\n    " << render_string(key) << ": " << rendered;
+    sep = ",";
+  }
+  out << (entries.empty() ? "}" : "\n  }") << (trailing_comma ? ",\n" : "\n");
+}
+
+}  // namespace
+
+RunManifest& RunManifest::param(std::string_view name, double v) {
+  params_[std::string(name)] = render_double(v);
+  return *this;
+}
+RunManifest& RunManifest::param(std::string_view name, std::int64_t v) {
+  params_[std::string(name)] = render_int(v);
+  return *this;
+}
+RunManifest& RunManifest::param(std::string_view name, std::uint64_t v) {
+  params_[std::string(name)] = render_uint(v);
+  return *this;
+}
+RunManifest& RunManifest::param(std::string_view name, bool v) {
+  params_[std::string(name)] = v ? "true" : "false";
+  return *this;
+}
+RunManifest& RunManifest::param(std::string_view name, std::string_view v) {
+  params_[std::string(name)] = render_string(v);
+  return *this;
+}
+
+RunManifest& RunManifest::observable(std::string_view name, double v) {
+  observables_[std::string(name)] = render_double(v);
+  return *this;
+}
+RunManifest& RunManifest::observable(std::string_view name,
+                                     std::optional<double> v) {
+  observables_[std::string(name)] = v ? render_double(*v) : "null";
+  return *this;
+}
+RunManifest& RunManifest::observable(std::string_view name, std::int64_t v) {
+  observables_[std::string(name)] = render_int(v);
+  return *this;
+}
+RunManifest& RunManifest::observable(std::string_view name, std::uint64_t v) {
+  observables_[std::string(name)] = render_uint(v);
+  return *this;
+}
+RunManifest& RunManifest::observable(std::string_view name, bool v) {
+  observables_[std::string(name)] = v ? "true" : "false";
+  return *this;
+}
+
+void RunManifest::write(std::ostream& out) const {
+  out << "{\n  \"schema\": \"" << kManifestSchema << "\",\n";
+  out << "  \"tool\": " << render_string(tool_) << ",\n";
+  write_section(out, "params", params_, /*trailing_comma=*/true);
+  write_section(out, "observables", observables_, /*trailing_comma=*/true);
+
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "fnv1a:%016llx",
+                static_cast<unsigned long long>(metrics_digest()));
+  const bool env = std::getenv("ECND_MANIFEST_ENV") != nullptr;
+  out << "  \"metrics_digest\": \"" << digest << "\"" << (env ? ",\n" : "\n");
+
+  if (env) {
+    // Opt-in machine descriptor: these values vary across hosts and knob
+    // settings, so they are excluded from the byte-stable default form.
+    const char* threads = std::getenv("ECND_THREADS");
+    out << "  \"environment\": {\n"
+        << "    \"ecnd_threads\": "
+        << (threads != nullptr ? render_string(threads) : "null") << ",\n"
+        << "    \"hw_threads\": " << std::thread::hardware_concurrency()
+        << "\n  }\n";
+  }
+  out << "}\n";
+}
+
+std::string RunManifest::to_json() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+const char* RunManifest::env_path() { return std::getenv("ECND_MANIFEST"); }
+
+bool RunManifest::write_if_requested() const {
+  const char* path = env_path();
+  if (path == nullptr) return false;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[obs] cannot open ECND_MANIFEST path %s\n", path);
+    return false;
+  }
+  write(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ecnd::obs
+
+#endif  // !ECND_OBS_DISABLED

@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -162,18 +164,36 @@ std::string format_ns(double ns) {
   return buf;
 }
 
-/// Approximate percentile from log2 buckets: lower edge of the bucket where
-/// the cumulative count crosses q.
-std::uint64_t bucket_percentile(const std::uint64_t* buckets,
-                                std::uint64_t count, double q) {
-  if (count == 0) return 0;
-  const double target = q * static_cast<double>(count);
-  std::uint64_t seen = 0;
+/// Percentile from log2 buckets with Prometheus-style linear interpolation
+/// inside the bucket where the cumulative count crosses q * count. Bucket 0
+/// holds the exact value 0; bucket b >= 1 interpolates over [2^(b-1), 2^b).
+double bucket_percentile(const std::uint64_t* buckets, std::uint64_t count,
+                         double q) {
+  if (count == 0) return 0.0;
+  const double target =
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(count);
+  double seen = 0.0;
   for (int b = 0; b < kHistogramBuckets; ++b) {
-    seen += buckets[b];
-    if (static_cast<double>(seen) >= target) return bucket_lower_edge(b);
+    if (buckets[b] == 0) continue;
+    const double next = seen + static_cast<double>(buckets[b]);
+    if (next >= target) {
+      if (b == 0) return 0.0;
+      const double lower = static_cast<double>(bucket_lower_edge(b));
+      const double frac =
+          std::clamp((target - seen) / static_cast<double>(buckets[b]), 0.0, 1.0);
+      return lower + frac * lower;  // bucket width == its lower edge
+    }
+    seen = next;
   }
-  return bucket_lower_edge(kHistogramBuckets - 1);
+  return static_cast<double>(bucket_lower_edge(kHistogramBuckets - 1));
+}
+
+/// Shortest-round-trip decimal rendering (deterministic, locale-free).
+std::string format_double(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "null";
+  return std::string(buf, end);
 }
 
 void write_metrics_file(const char* path) {
@@ -205,8 +225,11 @@ void export_at_exit() {
 /// the registry is lazily created and atexit may be called at any time.
 struct EnvInit {
   EnvInit() {
-    const bool metrics =
-        std::getenv("ECND_METRICS") || std::getenv("ECND_OBS_SUMMARY");
+    // ECND_MANIFEST arms counting too: the manifest embeds a digest of the
+    // metrics registry, which is only meaningful if the run counted.
+    const bool metrics = std::getenv("ECND_METRICS") ||
+                         std::getenv("ECND_OBS_SUMMARY") ||
+                         std::getenv("ECND_MANIFEST");
     const bool trace = std::getenv("ECND_TRACE") != nullptr;
     if (metrics || trace) {
       detail::g_metrics_on.store(true, std::memory_order_relaxed);
@@ -263,6 +286,20 @@ Histogram histogram(std::string_view name, Domain domain) {
       name, Kind::kHistogram, domain, 2 + kHistogramBuckets));
 }
 
+std::optional<double> histogram_percentile(std::string_view name, double q) {
+  merge_calling_thread();
+  std::vector<MetricInfo> metrics;
+  std::vector<std::uint64_t> values;
+  Registry::instance().snapshot(metrics, values);
+  for (const MetricInfo& m : metrics) {
+    if (m.name != name || m.kind != Kind::kHistogram) continue;
+    const std::uint64_t* base = values.data() + m.cell;
+    if (base[0] == 0) return std::nullopt;
+    return bucket_percentile(base + 2, base[0], q);
+  }
+  return std::nullopt;
+}
+
 void dump_metrics_json(std::ostream& out, bool include_wall) {
   merge_calling_thread();
   std::vector<MetricInfo> metrics;
@@ -307,7 +344,14 @@ void dump_metrics_json(std::ostream& out, bool include_wall) {
           << format_count(base[2 + b]) << "]";
       bsep = ", ";
     }
-    out << "]}";
+    out << "]";
+    if (base[0] > 0) {
+      out << ", \"p50\": " << format_double(bucket_percentile(base + 2, base[0], 0.5))
+          << ", \"p99\": " << format_double(bucket_percentile(base + 2, base[0], 0.99));
+    } else {
+      out << ", \"p50\": null, \"p99\": null";
+    }
+    out << "}";
     sep = ",";
   }
   out << (histograms.empty() ? "}\n" : "\n  }\n");
@@ -343,16 +387,16 @@ void print_summary(std::ostream& out) {
     if (count == 0) continue;
     const double mean =
         static_cast<double>(base[1]) / static_cast<double>(count);
-    const std::uint64_t p50 = bucket_percentile(base + 2, count, 0.5);
-    const std::uint64_t p99 = bucket_percentile(base + 2, count, 0.99);
+    const double p50 = bucket_percentile(base + 2, count, 0.5);
+    const double p99 = bucket_percentile(base + 2, count, 0.99);
     const bool ns = m->domain == Domain::kWall;
     char line[200];
     std::snprintf(line, sizeof(line),
                   "  %-34s count=%-10llu mean=%-10s p50~%-10s p99~%s\n",
                   name.c_str(), static_cast<unsigned long long>(count),
                   ns ? format_ns(mean).c_str() : format_count(static_cast<std::uint64_t>(mean)).c_str(),
-                  ns ? format_ns(static_cast<double>(p50)).c_str() : format_count(p50).c_str(),
-                  ns ? format_ns(static_cast<double>(p99)).c_str() : format_count(p99).c_str());
+                  ns ? format_ns(p50).c_str() : format_count(static_cast<std::uint64_t>(p50)).c_str(),
+                  ns ? format_ns(p99).c_str() : format_count(static_cast<std::uint64_t>(p99)).c_str());
     out << line;
   }
   if (const std::uint64_t dropped = trace_dropped_total()) {

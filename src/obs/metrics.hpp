@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string_view>
 
 namespace ecnd::obs {
@@ -137,6 +138,14 @@ Counter counter(std::string_view name);
 Gauge gauge(std::string_view name, Domain domain = Domain::kSim);
 Histogram histogram(std::string_view name, Domain domain = Domain::kSim);
 
+/// Registry-side percentile over a histogram's exported log2 buckets
+/// (q in [0, 1]): Prometheus-style linear interpolation inside the bucket
+/// where the cumulative count crosses q * count, so manifests and the
+/// summary table can report p50/p99 instead of only bucket counts. Not a
+/// hot-path call (merges the calling thread's shard and snapshots the
+/// registry). nullopt when `name` is not a histogram or has no samples.
+std::optional<double> histogram_percentile(std::string_view name, double q);
+
 /// Merge the calling thread's shard and write every metric as JSON, sorted
 /// by name. include_wall adds the Domain::kWall section (off by default: its
 /// values are wall-clock and break bit-identical comparisons).
@@ -169,6 +178,9 @@ class Histogram {
 inline Counter counter(std::string_view) { return {}; }
 inline Gauge gauge(std::string_view, Domain = Domain::kSim) { return {}; }
 inline Histogram histogram(std::string_view, Domain = Domain::kSim) { return {}; }
+inline std::optional<double> histogram_percentile(std::string_view, double) {
+  return std::nullopt;
+}
 
 void dump_metrics_json(std::ostream& out, bool include_wall = false);
 void print_summary(std::ostream& out);

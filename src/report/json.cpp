@@ -1,0 +1,297 @@
+#include "report/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ecnd::report {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+      if (s_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw std::runtime_error("JSON parse error at line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(col) + ": " + what);
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  char take() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_++];
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::make_string(parse_string());
+      case 't':
+        if (!literal("true")) fail("bad literal");
+        return Json::make_bool(true);
+      case 'f':
+        if (!literal("false")) fail("bad literal");
+        return Json::make_bool(false);
+      case 'n':
+        if (!literal("null")) fail("bad literal");
+        return Json::make_null();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json::make_object(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ',') continue;
+      if (c == '}') return Json::make_object(std::move(obj));
+      --pos_;
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json::make_array(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ',') continue;
+      if (c == ']') return Json::make_array(std::move(arr));
+      --pos_;
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed
+          // for our exports; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    double v = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(s_.data() + start, s_.data() + pos_, v);
+    if (ec != std::errc() || ptr != s_.data() + pos_) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return Json::make_number(v);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::make_bool(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+Json Json::make_number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+Json Json::make_string(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+Json Json::make_array(Array a) {
+  Json j;
+  j.kind_ = Kind::kArray;
+  j.array_ = std::move(a);
+  return j;
+}
+Json Json::make_object(Object o) {
+  Json j;
+  j.kind_ = Kind::kObject;
+  j.object_ = std::move(o);
+  return j;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Json Json::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse(buf.str());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+double Json::number() const {
+  if (kind_ != Kind::kNumber) throw std::runtime_error("JSON: not a number");
+  return number_;
+}
+bool Json::boolean() const {
+  if (kind_ != Kind::kBool) throw std::runtime_error("JSON: not a bool");
+  return bool_;
+}
+const std::string& Json::str() const {
+  if (kind_ != Kind::kString) throw std::runtime_error("JSON: not a string");
+  return string_;
+}
+const Json::Array& Json::array() const {
+  if (kind_ != Kind::kArray) throw std::runtime_error("JSON: not an array");
+  return array_;
+}
+const Json::Object& Json::object() const {
+  if (kind_ != Kind::kObject) throw std::runtime_error("JSON: not an object");
+  return object_;
+}
+
+const Json* Json::get(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::optional<double> Json::get_number(std::string_view key) const {
+  const Json* v = get(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  return v->number();
+}
+
+std::optional<std::string> Json::get_string(std::string_view key) const {
+  const Json* v = get(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->str();
+}
+
+}  // namespace ecnd::report

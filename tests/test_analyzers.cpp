@@ -1,0 +1,300 @@
+// Derived-observable analyzers (obs/analyzers.hpp) on synthetic signals with
+// closed-form answers: a pure sine has a known amplitude and period, a step
+// with exponential decay has a known settling time and overshoot, and a
+// two-flow rate ramp has a Jain index computable by hand per window. Each
+// suite also checks that the online (streaming) and offline (replayed
+// TimeSeries) faces of an analyzer agree, which they must by construction.
+
+#include "obs/analyzers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/timeseries.hpp"
+
+namespace ecnd {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// --- OscillationProbe: pure sine --------------------------------------------
+
+TimeSeries sine_series(double amplitude, double period, double offset,
+                       double duration, double dt) {
+  // Integer-stepped grid: accumulating t += dt drifts past `duration` and
+  // makes windowed replays drop the final sample.
+  TimeSeries ts("sine");
+  const int n = static_cast<int>(std::lround(duration / dt));
+  for (int i = 0; i <= n; ++i) {
+    const double t = i * dt;
+    ts.push(t, offset + amplitude * std::sin(2.0 * kPi * t / period));
+  }
+  return ts;
+}
+
+TEST(OscillationProbe, SineAmplitudeAndPeriod) {
+  const double amplitude = 3.0, period = 0.02, offset = 10.0;
+  const TimeSeries ts = sine_series(amplitude, period, offset, 0.1, 1e-4);
+
+  const auto osc = obs::oscillation(ts, 0.0, 0.1);
+  // Five full cycles: peak-to-peak 2A, dominant period T, mean = offset.
+  EXPECT_NEAR(osc.peak_to_peak, 2.0 * amplitude, 0.01 * amplitude);
+  EXPECT_NEAR(osc.period, period, 0.02 * period);
+  EXPECT_NEAR(osc.mean, offset, 0.05);
+  EXPECT_NEAR(osc.min, offset - amplitude, 0.01 * amplitude);
+  EXPECT_NEAR(osc.max, offset + amplitude, 0.01 * amplitude);
+  // 10 zero crossings of the reference in 5 cycles.
+  EXPECT_EQ(osc.crossings, 10);
+}
+
+TEST(OscillationProbe, ExplicitReferenceMatchesDefaultMean) {
+  // A cosine starts a full amplitude away from the reference, so the crossing
+  // detector is insensitive to the ulp-level error in the estimated
+  // time-weighted mean (a sine starting exactly ON the reference is not).
+  TimeSeries ts("cosine");
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i * 5e-5;  // 5 full cycles of period 0.01
+    ts.push(t, 5.0 + std::cos(2.0 * kPi * t / 0.01));
+  }
+  const auto by_mean = obs::oscillation(ts, 0.0, 1.0);
+  const auto by_ref = obs::oscillation(ts, 0.0, 1.0, 5.0);
+  EXPECT_EQ(by_mean.crossings, by_ref.crossings);
+  EXPECT_NEAR(by_mean.period, by_ref.period, 1e-6);
+  EXPECT_NEAR(by_mean.period, 0.01, 1e-4);
+}
+
+TEST(OscillationProbe, HysteresisRejectsRipple) {
+  // 2 KB ripple around 100 with one genuine 20-unit swing: with hysteresis
+  // above the ripple amplitude only the big swing's crossings register.
+  TimeSeries ts("ripple");
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i * 1e-4;
+    double v = 100.0 + 0.5 * std::sin(2.0 * kPi * t / 1e-3);
+    if (t > 0.04 && t < 0.06) v += 20.0 * std::sin(2.0 * kPi * (t - 0.04) / 0.02);
+    ts.push(t, v);
+  }
+  const auto noisy = obs::oscillation(ts, 0.0, 0.1, 100.0, 0.0);
+  const auto filtered = obs::oscillation(ts, 0.0, 0.1, 100.0, 2.0);
+  EXPECT_GT(noisy.crossings, 50);
+  EXPECT_LE(filtered.crossings, 4);
+  EXPECT_NEAR(filtered.peak_to_peak, 40.0, 1.5);
+}
+
+TEST(OscillationProbe, OnlineMatchesOffline) {
+  const TimeSeries ts = sine_series(2.0, 0.015, 7.0, 0.09, 1e-4);
+  obs::OscillationParams p;
+  p.reference = 7.0;
+  obs::OscillationProbe probe(p);
+  for (const auto& s : ts.samples()) probe.push(s.t, s.value);
+  const auto online = probe.result();
+  // The offline window extends past the last sample so the replay sees every
+  // sample the online probe saw.
+  const auto offline = obs::oscillation(ts, 0.0, 1.0, 7.0);
+  EXPECT_NEAR(online.peak_to_peak, offline.peak_to_peak, 1e-12);
+  EXPECT_NEAR(online.period, offline.period, 1e-12);
+  EXPECT_EQ(online.crossings, offline.crossings);
+}
+
+TEST(OscillationProbe, ConstantSignalHasNoOscillation) {
+  TimeSeries ts("flat");
+  for (int i = 0; i < 100; ++i) ts.push(i * 1e-3, 42.0);
+  const auto osc = obs::oscillation(ts, 0.0, 0.1);
+  EXPECT_EQ(osc.crossings, 0);
+  EXPECT_EQ(osc.period, 0.0);
+  EXPECT_EQ(osc.peak_to_peak, 0.0);
+}
+
+// --- SettlingTime: step + exponential decay ---------------------------------
+
+TimeSeries decay_series(double start, double target, double tau,
+                        double duration, double dt) {
+  TimeSeries ts("decay");
+  const int n = static_cast<int>(std::lround(duration / dt));
+  for (int i = 0; i <= n; ++i) {
+    const double t = i * dt;
+    ts.push(t, target + (start - target) * std::exp(-t / tau));
+  }
+  return ts;
+}
+
+TEST(SettlingTime, ExponentialDecayClosedForm) {
+  // v(t) = 100 e^{-t/tau} toward 0: |v| <= eps at t = tau * ln(100/eps).
+  const double tau = 0.01, eps = 5.0;
+  const TimeSeries ts = decay_series(100.0, 0.0, tau, 0.1, 1e-5);
+  obs::SettlingParams p;
+  p.target = 0.0;
+  p.epsilon = eps;
+  const auto r = obs::settling_time(ts, p, 0.0, 0.1);
+  ASSERT_TRUE(r.settled);
+  EXPECT_NEAR(r.settle_t, tau * std::log(100.0 / eps), 1e-4);
+  EXPECT_NEAR(r.final_value, 0.0, eps);
+  EXPECT_GT(r.dwell, 0.05);
+}
+
+TEST(SettlingTime, MinDwellRejectsLateEntry) {
+  // Enters the band only in the last 10% of the run: with min_dwell above
+  // that, the run must not count as settled.
+  const TimeSeries ts = decay_series(100.0, 0.0, 0.04, 0.1, 1e-5);
+  obs::SettlingParams p;
+  p.target = 0.0;
+  p.epsilon = 100.0 * std::exp(-0.095 / 0.04);  // enters band at t=0.095
+  p.min_dwell = 0.02;
+  const auto r = obs::settling_time(ts, p, 0.0, 0.1);
+  EXPECT_FALSE(r.settled);
+}
+
+TEST(SettlingTime, ReEntryResetsTheClock) {
+  // In band, out briefly, back in: settle_t must be the *final* entry.
+  TimeSeries ts("bounce");
+  auto seg = [&](double t0, double t1, double v) {
+    for (double t = t0; t < t1; t += 1e-3) ts.push(t, v);
+  };
+  seg(0.0, 0.1, 1.0);    // inside (target 1, eps 0.5)
+  seg(0.1, 0.15, 3.0);   // excursion out
+  seg(0.15, 0.3, 1.0);   // back inside until the end
+  obs::SettlingParams p;
+  p.target = 1.0;
+  p.epsilon = 0.5;
+  const auto r = obs::settling_time(ts, p, 0.0, 0.3);
+  ASSERT_TRUE(r.settled);
+  EXPECT_GT(r.settle_t, 0.1);
+  EXPECT_LT(r.settle_t, 0.16);
+}
+
+TEST(SettlingTime, NeverInBand) {
+  const TimeSeries ts = decay_series(100.0, 0.0, 1.0, 0.05, 1e-3);  // slow
+  obs::SettlingParams p;
+  p.target = 0.0;
+  p.epsilon = 1.0;
+  const auto r = obs::settling_time(ts, p, 0.0, 0.05);
+  EXPECT_FALSE(r.settled);
+}
+
+TEST(SettlingTime, OnlineMatchesOffline) {
+  const TimeSeries ts = decay_series(50.0, 10.0, 0.02, 0.2, 1e-4);
+  obs::SettlingParams p;
+  p.target = 10.0;
+  p.epsilon = 2.0;
+  p.min_dwell = 0.01;
+  obs::SettlingTime probe(p);
+  for (const auto& s : ts.samples()) probe.push(s.t, s.value);
+  const auto online = probe.result();
+  const auto offline = obs::settling_time(ts, p, 0.0, 1.0);
+  EXPECT_EQ(online.settled, offline.settled);
+  EXPECT_NEAR(online.settle_t, offline.settle_t, 1e-12);
+  EXPECT_NEAR(online.dwell, offline.dwell, 1e-12);
+}
+
+// --- Overshoot: step response -----------------------------------------------
+
+TEST(Overshoot, PeakAndTimeAboveClosedForm) {
+  // Triangle: rises 0 -> 20 over [0, 0.1], falls back to 0 over [0.1, 0.2].
+  // Against target 10: peak excursion 10 at t=0.1, above target for half the
+  // span (crossings at t=0.05 and t=0.15).
+  TimeSeries ts("triangle");
+  for (int i = 0; i <= 200; ++i) {
+    const double t = i * 1e-3;
+    ts.push(t, t <= 0.1 ? 200.0 * t : 200.0 * (0.2 - t));
+  }
+  const auto r = obs::overshoot(ts, 10.0, 0.0, 0.3);
+  EXPECT_NEAR(r.max_excursion, 10.0, 1e-9);
+  EXPECT_NEAR(r.peak_t, 0.1, 1e-9);
+  EXPECT_NEAR(r.peak_value, 20.0, 1e-9);
+  EXPECT_NEAR(r.time_above_fraction, 0.5, 1e-9);
+}
+
+TEST(Overshoot, NeverAboveTarget) {
+  const TimeSeries ts = decay_series(5.0, 0.0, 0.01, 0.1, 1e-3);
+  const auto r = obs::overshoot(ts, 10.0, 0.0, 0.1);
+  EXPECT_EQ(r.max_excursion, 0.0);
+  EXPECT_EQ(r.time_above_fraction, 0.0);
+}
+
+TEST(Overshoot, OnlineMatchesOffline) {
+  const TimeSeries ts = sine_series(4.0, 0.02, 10.0, 0.1, 1e-4);
+  obs::Overshoot probe(12.0);
+  for (const auto& s : ts.samples()) probe.push(s.t, s.value);
+  const auto online = probe.result();
+  const auto offline = obs::overshoot(ts, 12.0, 0.0, 1.0);
+  EXPECT_NEAR(online.max_excursion, offline.max_excursion, 1e-12);
+  EXPECT_NEAR(online.time_above_fraction, offline.time_above_fraction, 1e-12);
+}
+
+// --- WindowedFairness: two-flow ramp ----------------------------------------
+
+TEST(JainIndex, Snapshots) {
+  const double equal[] = {5.0, 5.0, 5.0};
+  EXPECT_NEAR(obs::jain_index(equal, 3).value(), 1.0, 1e-12);
+  const double solo[] = {10.0, 0.0};
+  EXPECT_NEAR(obs::jain_index(solo, 2).value(), 0.5, 1e-12);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_FALSE(obs::jain_index(zeros, 2).has_value());
+  EXPECT_FALSE(obs::jain_index(nullptr, 0).has_value());
+}
+
+TEST(WindowedFairness, TwoFlowRampClosedForm) {
+  // flow0 ramps 0 -> 10 over [0,1]; flow1 ramps 10 -> 0. In window
+  // [0, 0.25] the time-weighted means are 1.25 and 8.75: Jain =
+  // (10)^2 / (2 * (1.25^2 + 8.75^2)) = 100 / 156.25 = 0.64. The middle
+  // windows are more fair; [0.375, 0.625] straddles the crossing (means 5, 5)
+  // and is perfectly fair.
+  obs::WindowedFairness probe(2, 0.25);
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i * 1e-3;
+    const double rates[] = {10.0 * t, 10.0 * (1.0 - t)};
+    probe.push(t, rates, 2);
+  }
+  const auto r = probe.finish();
+  ASSERT_EQ(r.windows.size(), 4u);
+  EXPECT_NEAR(r.windows[0].t, 0.25, 1e-9);
+  EXPECT_NEAR(r.windows[0].value, 0.64, 1e-3);
+  EXPECT_NEAR(r.windows[3].value, 0.64, 1e-3);
+  // Symmetric ramps: windows 1 and 2 agree, and are the fairest.
+  EXPECT_NEAR(r.windows[1].value, r.windows[2].value, 1e-9);
+  EXPECT_GT(r.windows[1].value, 0.9);
+  ASSERT_TRUE(r.min.has_value());
+  EXPECT_NEAR(*r.min, 0.64, 1e-3);
+  ASSERT_TRUE(r.last.has_value());
+}
+
+TEST(WindowedFairness, OfflineWindowedJainMatchesOnline) {
+  TimeSeries f0("f0"), f1("f1");
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i * 1e-3;
+    f0.push(t, 10.0 * t);
+    f1.push(t, 10.0 * (1.0 - t));
+  }
+  const auto offline = obs::windowed_jain({&f0, &f1}, 0.25, 1e-3, 0.0, 1.0);
+  ASSERT_GE(offline.windows.size(), 4u);
+  EXPECT_NEAR(offline.windows[0].value, 0.64, 1e-3);
+  ASSERT_TRUE(offline.min.has_value());
+  EXPECT_NEAR(*offline.min, 0.64, 1e-3);
+}
+
+TEST(WindowedFairness, AllZeroWindowContributesNoIndex) {
+  obs::WindowedFairness probe(2, 0.1);
+  for (int i = 0; i <= 100; ++i) {
+    const double rates[] = {0.0, 0.0};
+    probe.push(i * 1e-3, rates, 2);
+  }
+  const auto r = probe.finish();
+  EXPECT_TRUE(r.windows.empty());
+  EXPECT_FALSE(r.min.has_value());
+}
+
+TEST(WindowedFairness, PartialTrailingWindowFlushedByFinish) {
+  obs::WindowedFairness probe(2, 1.0);  // window longer than the data
+  const double rates[] = {4.0, 6.0};
+  probe.push(0.0, rates, 2);
+  probe.push(0.5, rates, 2);
+  EXPECT_TRUE(probe.windows().empty());  // nothing completed yet
+  const auto r = probe.finish();
+  ASSERT_EQ(r.windows.size(), 1u);
+  // Jain(4, 6) = 100 / (2 * 52) = 0.9615...
+  EXPECT_NEAR(r.windows[0].value, 100.0 / 104.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ecnd

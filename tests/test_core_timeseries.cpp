@@ -132,5 +132,60 @@ TEST(TimeSeries, WindowedResampleClampsToSpan) {
   EXPECT_DOUBLE_EQ(rs[2].t, 1.0);
 }
 
+// --- resampled(n, t0, t1) degenerate windows ------------------------------
+// These cases used to fall into an empty-output path; shape_line and the
+// offline analyzers window their inputs and must never lose a non-empty
+// signal to a degenerate window.
+
+TEST(TimeSeries, ResampleZeroPointsIsEmpty) {
+  TimeSeries ts = ramp();
+  EXPECT_TRUE(ts.resampled(0, 0.2, 0.6).empty());
+}
+
+TEST(TimeSeries, ResampleSinglePointSamplesWindowStart) {
+  TimeSeries ts = ramp();
+  const TimeSeries rs = ts.resampled(1, 0.2, 0.6);
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_DOUBLE_EQ(rs[0].t, 0.2);
+  EXPECT_NEAR(rs[0].value, 2.0, 1e-9);
+}
+
+TEST(TimeSeries, ResampleInstantWindowYieldsOneSample) {
+  TimeSeries ts = ramp();
+  const TimeSeries rs = ts.resampled(5, 0.4, 0.4);  // t0 == t1
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_DOUBLE_EQ(rs[0].t, 0.4);
+  EXPECT_NEAR(rs[0].value, 4.0, 1e-9);
+}
+
+TEST(TimeSeries, ResampleWindowClampedToSingleInstant) {
+  // [0.95, 99] clamps to [0.95, 1.0]; [99, 100] clamps past the span
+  // entirely and must return the nearest endpoint, not an empty series.
+  TimeSeries ts = ramp();
+  const TimeSeries tail = ts.resampled(4, 99.0, 100.0);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_DOUBLE_EQ(tail[0].t, 1.0);
+  EXPECT_NEAR(tail[0].value, 10.0, 1e-9);
+
+  const TimeSeries head = ts.resampled(4, -10.0, -5.0);
+  ASSERT_EQ(head.size(), 1u);
+  EXPECT_DOUBLE_EQ(head[0].t, 0.0);
+  EXPECT_NEAR(head[0].value, 0.0, 1e-9);
+}
+
+TEST(TimeSeries, ResampleSingleSampleSeries) {
+  TimeSeries ts;
+  ts.push(2.0, 7.0);
+  const TimeSeries rs = ts.resampled(5, 0.0, 10.0);  // window clamps to [2, 2]
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_DOUBLE_EQ(rs[0].t, 2.0);
+  EXPECT_DOUBLE_EQ(rs[0].value, 7.0);
+}
+
+TEST(TimeSeries, ResampleEmptySeriesStaysEmpty) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.resampled(5, 0.0, 1.0).empty());
+}
+
 }  // namespace
 }  // namespace ecnd

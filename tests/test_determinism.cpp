@@ -21,6 +21,8 @@
 #include "exp/scenarios.hpp"
 #include "fluid/dcqcn_model.hpp"
 #include "fluid/fluid_model.hpp"
+#include "obs/analyzers.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 
 namespace ecnd {
@@ -161,6 +163,85 @@ TEST(Determinism, PacketFctSweepIsBitIdenticalAcrossThreadCounts) {
   const std::string parallel = fct_sweep_csv(8);
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
+}
+
+#if !defined(ECND_OBS_DISABLED)
+/// Render a RunManifest for a parallel fluid sweep, with analyzer-derived
+/// observables, at a given worker count. The manifest contract (see
+/// obs/manifest.hpp) says the rendered JSON is a function of the scenario
+/// only — never of ECND_THREADS — so the blobs below must be bit-identical.
+std::string sweep_manifest_json(std::size_t threads) {
+  MetricsCapture metrics;
+  const std::vector<int> flow_counts = {2, 4, 10};
+
+  struct Reduced {
+    double queue_mean_kb = 0.0;
+    double rate0_gbps = 0.0;
+    obs::SettlingResult settle;
+  };
+  const std::vector<Reduced> rows = par::parallel_map(
+      flow_counts,
+      [](int n) {
+        fluid::DcqcnFluidParams p;
+        p.num_flows = n;
+        fluid::DcqcnFluidModel model(p);
+        const fluid::FluidRun run = fluid::simulate(model, 0.06, 2e-4);
+        Reduced r;
+        r.queue_mean_kb = run.queue_bytes.mean_over(0.03, 0.06) / 1e3;
+        r.rate0_gbps = run.flow_rate_gbps[0].mean_over(0.03, 0.06);
+        obs::SettlingParams sp;
+        sp.target = r.queue_mean_kb * 1e3;
+        sp.epsilon = 0.3 * sp.target;
+        sp.min_dwell = 0.012;
+        r.settle = obs::settling_time(run.queue_bytes, sp, 0.0, 0.06);
+        return r;
+      },
+      threads);
+
+  obs::RunManifest m("test_determinism");
+  m.param("flow_counts", "2,4,10").param("duration_s", 0.06);
+  for (std::size_t i = 0; i < flow_counts.size(); ++i) {
+    const std::string key = ".n" + std::to_string(flow_counts[i]);
+    m.observable("queue_mean_kb" + key, rows[i].queue_mean_kb);
+    m.observable("rate0_gbps" + key, rows[i].rate0_gbps);
+    m.observable("queue_settled" + key, rows[i].settle.settled);
+    m.observable("queue_settle_s" + key,
+                 rows[i].settle.settled
+                     ? std::optional<double>(rows[i].settle.settle_t)
+                     : std::nullopt);
+  }
+  return m.to_json();
+}
+#endif  // !ECND_OBS_DISABLED
+
+TEST(Determinism, ManifestIsBitIdenticalAcrossThreadCounts) {
+#if !defined(ECND_OBS_DISABLED)
+  const std::string serial = sweep_manifest_json(1);
+  const std::string parallel = sweep_manifest_json(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+#else
+  GTEST_SKIP() << "observability compiled out (ECND_OBS=OFF)";
+#endif
+}
+
+TEST(Determinism, ManifestIsRepeatable) {
+#if !defined(ECND_OBS_DISABLED)
+  EXPECT_EQ(sweep_manifest_json(4), sweep_manifest_json(4));
+#else
+  GTEST_SKIP() << "observability compiled out (ECND_OBS=OFF)";
+#endif
+}
+
+TEST(Determinism, ManifestCarriesSchemaAndDigest) {
+#if !defined(ECND_OBS_DISABLED)
+  const std::string blob = sweep_manifest_json(2);
+  EXPECT_NE(blob.find("\"ecnd-manifest-v1\""), std::string::npos);
+  EXPECT_NE(blob.find("\"metrics_digest\""), std::string::npos);
+  EXPECT_NE(blob.find("\"queue_mean_kb.n10\""), std::string::npos);
+#else
+  GTEST_SKIP() << "observability compiled out (ECND_OBS=OFF)";
+#endif
 }
 
 TEST(Determinism, MetricsDumpCoversPacketSweep) {

@@ -211,11 +211,19 @@ TEST_F(ObsFixture, HistogramCountsSumsAndBuckets) {
   h.record(5);
   const std::string json = metrics_json();
   // count=4, sum=11; value 0 -> bucket edge 0, 1 -> edge 1, 5 (x2) -> edge 4.
+  // Percentiles interpolate inside the crossing bucket: p50's rank-2 target
+  // lands at the top of bucket [1,2) -> 2; p99's rank-3.96 target sits 98%
+  // into bucket [4,8) -> 7.92.
   EXPECT_NE(json.find("\"test.obs.hist\": {\"count\": 4, \"sum\": 11, "
-                      "\"buckets\": [[0, 1], [1, 1], [4, 2]]}"),
+                      "\"buckets\": [[0, 1], [1, 1], [4, 2]], "
+                      "\"p50\": 2, \"p99\": 7.92}"),
             std::string::npos)
       << json;
   EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_DOUBLE_EQ(obs::histogram_percentile("test.obs.hist", 0.99).value(),
+                   7.92);
+  EXPECT_EQ(obs::histogram_percentile("test.obs.hist", 0.0).value(), 0.0);
+  EXPECT_FALSE(obs::histogram_percentile("no.such.histogram", 0.5).has_value());
 }
 
 TEST_F(ObsFixture, ReRegisteringUnderDifferentKindThrows) {
