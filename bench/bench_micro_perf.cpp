@@ -12,7 +12,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <thread>
 
 #include "core/parallel.hpp"
@@ -90,37 +92,54 @@ double elapsed_s(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Wall-clock timing on a shared box is one-sided noise: preemption and cache
+// pollution only ever make a repetition *slower*. Each baseline loop below
+// therefore runs several fresh repetitions (first one doubling as warmup)
+// and reports the minimum, which estimates the undisturbed cost and keeps
+// the committed baseline comparable across regenerations.
+constexpr int kBaselineReps = 5;
+
 /// ns per packet-simulator event: one 4-sender DCQCN incast run, wall time
-/// over events dispatched.
+/// over events dispatched. Minimum over kBaselineReps fresh runs.
 double measure_ns_per_sim_event() {
-  sim::Network net(1);
-  sim::StarConfig config;
-  config.senders = 4;
-  sim::Star star = make_star(net, config);
-  for (sim::Host* s : star.senders) {
-    s->set_controller_factory(
-        proto::make_dcqcn_factory(net.sim(), proto::DcqcnRpParams{}));
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kBaselineReps; ++rep) {
+    sim::Network net(1);
+    sim::StarConfig config;
+    config.senders = 4;
+    sim::Star star = make_star(net, config);
+    for (sim::Host* s : star.senders) {
+      s->set_controller_factory(
+          proto::make_dcqcn_factory(net.sim(), proto::DcqcnRpParams{}));
+    }
+    for (sim::Host* s : star.senders) {
+      s->start_flow(star.receiver->id(), megabytes(4.0));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    net.sim().run_until(seconds(0.02));
+    const double s = elapsed_s(t0);
+    best = std::min(
+        best, s * 1e9 / static_cast<double>(net.sim().events_processed()));
   }
-  for (sim::Host* s : star.senders) {
-    s->start_flow(star.receiver->id(), megabytes(4.0));
-  }
-  const auto t0 = std::chrono::steady_clock::now();
-  net.sim().run_until(seconds(0.02));
-  const double s = elapsed_s(t0);
-  return s * 1e9 / static_cast<double>(net.sim().events_processed());
+  return best;
 }
 
-/// ns per guarded RK4 step of the 10-flow DCQCN fluid model.
+/// ns per guarded RK4 step of the 10-flow DCQCN fluid model. Minimum over
+/// kBaselineReps fresh solvers.
 double measure_ns_per_rk4_step() {
-  fluid::DcqcnFluidParams p;
-  p.num_flows = 10;
-  fluid::DcqcnFluidModel model(p);
-  fluid::DdeSolver solver(model, model.initial_state(), 0.0,
-                          model.suggested_dt());
-  constexpr int kSteps = 20000;
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int i = 0; i < kSteps; ++i) solver.step();
-  return elapsed_s(t0) * 1e9 / kSteps;
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kBaselineReps; ++rep) {
+    fluid::DcqcnFluidParams p;
+    p.num_flows = 10;
+    fluid::DcqcnFluidModel model(p);
+    fluid::DdeSolver solver(model, model.initial_state(), 0.0,
+                            model.suggested_dt());
+    constexpr int kSteps = 20000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSteps; ++i) solver.step();
+    best = std::min(best, elapsed_s(t0) * 1e9 / kSteps);
+  }
+  return best;
 }
 
 /// Sweep-engine dispatch throughput: near-empty tasks, so the number is the

@@ -18,7 +18,14 @@
 # checks the manifest contract: bit-identical at ECND_THREADS=1 vs 4, stdout
 # untouched by the writer, and no manifest file under -DECND_OBS=OFF.
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke|--report]
+# --perf re-measures the two engine hot loops (bench_micro_perf's dedicated
+# baseline timing loops) and gates them against the committed BENCH_obs.json
+# via ecnd-report's perf path with --strict-perf: a regression beyond a
+# metric's recorded tolerance fails the script. Wall-clock numbers only mean
+# anything on the machine that produced the baseline — regenerate it with
+# scripts/bench_baseline.sh when moving boxes.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke|--report|--perf]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -38,7 +45,8 @@ run_tests() {
 mode="${1:-all}"
 
 if [[ "$mode" != "--sanitize-only" && "$mode" != "--tsan-only" \
-      && "$mode" != "--obs-smoke" && "$mode" != "--report" ]]; then
+      && "$mode" != "--obs-smoke" && "$mode" != "--report" \
+      && "$mode" != "--perf" ]]; then
   echo "== plain build + tests (serial and threaded sweep paths) =="
   build_suite build
   run_tests build 1
@@ -171,6 +179,30 @@ if [[ "$mode" == "--report" ]]; then
     --bench-baseline BENCH_obs.json \
     --out REPORT.md
   echo "report: wrote REPORT.md"
+fi
+
+if [[ "$mode" == "--perf" ]]; then
+  echo "== perf gate (bench_micro_perf vs committed BENCH_obs.json) =="
+  build_suite build
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+
+  echo "-- measuring current tree (dedicated baseline loops)"
+  ECND_BENCH_JSON="$tmp/current.json" \
+    build/bench/bench_micro_perf --benchmark_filter='^$' > /dev/null 2>&1 || true
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$tmp/current.json"
+
+  # Perf-only gate: no observable expectations, just the bench comparison.
+  printf '{"schema": "ecnd-expectations-v1", "tools": {}}\n' \
+    > "$tmp/perf_only_expectations.json"
+
+  echo "-- ecnd-report --strict-perf (tolerance from BENCH_obs.json)"
+  build/src/report/ecnd-report \
+    --expectations "$tmp/perf_only_expectations.json" \
+    --bench-baseline BENCH_obs.json \
+    --bench-current "$tmp/current.json" \
+    --strict-perf
+  echo "perf gate: within baseline tolerance"
 fi
 
 echo "check.sh: all requested suites passed"

@@ -11,24 +11,28 @@ namespace {
 // well-behaved limits as p -> 0 (no marking), which matters because DCQCN's
 // fixed-point p* is typically O(1e-3..1e-2) and transients pass through 0.
 
-/// (1 - p)^x for p in [0,1).
-double pow1m(double p, double x) { return std::exp(x * std::log1p(-p)); }
+// Each takes l = log1p(-p) precomputed by the caller: the six exponential
+// terms per flow all share the same p, so one rhs() evaluation pays a single
+// log1p instead of six per flow.
+
+/// (1 - p)^x given l = log1p(-p).
+double pow1m(double l, double x) { return std::exp(x * l); }
 
 /// p / ((1-p)^{-n} - 1); limit 1/n as p -> 0.
-double increase_event_factor(double p, double n) {
+double increase_event_factor(double p, double l, double n) {
   assert(n > 0.0);
   if (p <= 1e-12) return 1.0 / n;
   if (p >= 1.0) return 0.0;
-  const double denom = std::expm1(-n * std::log1p(-p));
+  const double denom = std::expm1(-n * l);
   if (denom <= 0.0) return 1.0 / n;
   return p / denom;
 }
 
 /// 1 - (1-p)^n: probability of >= 1 mark in n packets.
-double mark_within(double p, double n) {
+double mark_within(double p, double l, double n) {
   if (p <= 0.0) return 0.0;
   if (p >= 1.0) return 1.0;
-  return -std::expm1(n * std::log1p(-p));
+  return -std::expm1(n * l);
 }
 
 constexpr double kMinRatePps = 125.0;  // ~1 Mb/s at 1000B MTU
@@ -66,37 +70,54 @@ double DcqcnFluidModel::suggested_dt() const {
   return std::clamp(dt, 5e-8, 1e-6);
 }
 
+DcqcnFluidModel::MarkingShared DcqcnFluidModel::make_marking_shared(
+    double p_delayed) const {
+  const DcqcnFluidParams& P = params_;
+  MarkingShared m{};
+  m.p = std::clamp(p_delayed, 0.0, 1.0);
+  m.l = std::log1p(-m.p);
+  const double B = P.byte_counter_pkts();
+  m.byte_factor = increase_event_factor(m.p, m.l, B);               // ~ 1/B
+  m.byte_ai = pow1m(m.l, P.fast_recovery_steps * B);                // P(in AI, byte)
+  return m;
+}
+
 DcqcnFluidModel::FlowDerivatives DcqcnFluidModel::flow_rhs(
     double alpha, double rt, double rc, double p_delayed,
     double rc_delayed) const {
+  return flow_rhs_shared(alpha, rt, rc, make_marking_shared(p_delayed),
+                         rc_delayed);
+}
+
+DcqcnFluidModel::FlowDerivatives DcqcnFluidModel::flow_rhs_shared(
+    double alpha, double rt, double rc, const MarkingShared& m,
+    double rc_delayed) const {
   const DcqcnFluidParams& P = params_;
-  const double p = std::clamp(p_delayed, 0.0, 1.0);
+  const double p = m.p;
   const double rcd = std::max(rc_delayed, kMinRatePps);
 
-  const double B = P.byte_counter_pkts();
   const double TRc = P.timer_T * rcd;
   const double F = P.fast_recovery_steps;
 
   // Probability of at least one CNP per tau / tau' window (Equations 5-7).
-  const double cnp_prob_tau = mark_within(p, P.tau_cnp * rcd);
-  const double cnp_prob_tau_alpha = mark_within(p, P.tau_alpha * rcd);
+  const double cnp_prob_tau = mark_within(p, m.l, P.tau_cnp * rcd);
+  const double cnp_prob_tau_alpha = mark_within(p, m.l, P.tau_alpha * rcd);
 
-  // Rate-increase event factors (byte counter and timer), Equation 6/7.
-  const double byte_factor = increase_event_factor(p, B);          // ~ 1/B
-  const double timer_factor = increase_event_factor(p, TRc);       // ~ 1/(T Rc)
-  const double byte_ai = pow1m(p, F * B);                          // P(in AI, byte)
-  const double timer_ai = pow1m(p, F * TRc);                       // P(in AI, timer)
+  // Timer-based rate-increase event factors (the byte-counter pair depends
+  // only on p and lives in MarkingShared), Equation 6/7.
+  const double timer_factor = increase_event_factor(p, m.l, TRc);  // ~ 1/(T Rc)
+  const double timer_ai = pow1m(m.l, F * TRc);                     // P(in AI, timer)
 
   FlowDerivatives d{};
   // Equation 5.
   d.dalpha = P.g / P.tau_alpha * (cnp_prob_tau_alpha - alpha);
   // Equation 6.
   d.dtarget = -(rt - rc) / P.tau_cnp * cnp_prob_tau +
-              P.rate_ai_pps() * rcd * byte_ai * byte_factor +
+              P.rate_ai_pps() * rcd * m.byte_ai * m.byte_factor +
               P.rate_ai_pps() * rcd * timer_ai * timer_factor;
   // Equation 7.
   d.drate = -(rc * alpha) / (2.0 * P.tau_cnp) * cnp_prob_tau +
-            (rt - rc) / 2.0 * rcd * byte_factor +
+            (rt - rc) / 2.0 * rcd * m.byte_factor +
             (rt - rc) / 2.0 * rcd * timer_factor;
   return d;
 }
@@ -115,14 +136,16 @@ void DcqcnFluidModel::rhs(double t, std::span<const double> x, const History& pa
   if (q <= 0.0 && dq < 0.0) dq = 0.0;
   dxdt[queue_index()] = dq;
 
-  const double q_delayed = past.value(queue_index(), t_delayed);
-  const double p_delayed = marking_probability(q_delayed);
+  // One history search serves the queue and every flow's delayed rate: all
+  // N+1 reads share the same delayed time.
+  const std::span<const double> delayed = past.values(t_delayed);
+  const double p_delayed = marking_probability(delayed[queue_index()]);
+  const MarkingShared shared = make_marking_shared(p_delayed);
 
   for (int i = 0; i < P.num_flows; ++i) {
-    const double rc_delayed = past.value(rate_index(i), t_delayed);
     const FlowDerivatives d =
-        flow_rhs(x[alpha_index(i)], x[target_rate_index(i)], x[rate_index(i)],
-                 p_delayed, rc_delayed);
+        flow_rhs_shared(x[alpha_index(i)], x[target_rate_index(i)],
+                        x[rate_index(i)], shared, delayed[rate_index(i)]);
     dxdt[alpha_index(i)] = d.dalpha;
     dxdt[target_rate_index(i)] = d.dtarget;
     dxdt[rate_index(i)] = d.drate;

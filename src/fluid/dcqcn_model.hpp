@@ -123,6 +123,26 @@ class DcqcnFluidModel final : public FluidModel {
                            double p_delayed, double rc_delayed) const;
 
  private:
+  /// Marking terms that depend only on the delayed marking probability, not
+  /// on the flow: computed once per rhs() call instead of once per flow.
+  /// l = log1p(-p) is additionally shared by every per-flow exponential
+  /// term, so one rhs() evaluation pays one log1p total. All expressions
+  /// (and their p->0 / p->1 guards) are verbatim those of the per-flow
+  /// helpers, so results are bit-identical to evaluating them per flow.
+  struct MarkingShared {
+    double p;            ///< clamped delayed marking probability
+    double l;            ///< log1p(-p)
+    double byte_factor;  ///< p / ((1-p)^{-B} - 1), limit 1/B
+    double byte_ai;      ///< (1-p)^{F B}
+  };
+  MarkingShared make_marking_shared(double p_delayed) const;
+  FlowDerivatives flow_rhs_shared(double alpha, double rt, double rc,
+                                  const MarkingShared& m,
+                                  double rc_delayed) const;
+
+  // The PI variant reuses these flow dynamics with its own marking source.
+  friend class DcqcnPiFluidModel;
+
   DcqcnFluidParams params_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -13,14 +14,22 @@ namespace {
 
 // Fluid-engine metrics (sim-domain except the profiling histogram).
 // fluid.rhs_evals is 4x the attempted RK4 advances; fluid.lookup_clamped
-// counts delayed-state reads that fell off either end of the history window.
+// counts delayed-state reads that fell off either end of the history window;
+// fluid.lookup_hint_hits counts interior reads served by the monotonic
+// cursor walk instead of a binary search (close to 100% of interior reads
+// for the forward-moving RK4 lookup pattern).
 const obs::Counter kRk4Steps = obs::counter("fluid.rk4_steps");
 const obs::Counter kRhsEvals = obs::counter("fluid.rhs_evals");
 const obs::Counter kStepRetries = obs::counter("fluid.step_retries");
 const obs::Counter kDelayedLookups = obs::counter("fluid.delayed_lookups");
 const obs::Counter kLookupClamped = obs::counter("fluid.lookup_clamped");
+const obs::Counter kLookupHintHits = obs::counter("fluid.lookup_hint_hits");
 const obs::Histogram kRunNs =
     obs::histogram("prof.fluid.run_ns", obs::Domain::kWall);
+
+// A stale cursor can lag arbitrarily far behind a forward jump; walking more
+// than a few entries costs more than restarting the binary search.
+constexpr int kMaxHintWalk = 8;
 
 }  // namespace
 
@@ -29,6 +38,29 @@ void History::append(double t, std::span<const double> x) {
   assert(times_.empty() || t >= times_.back());
   times_.push_back(t);
   states_.insert(states_.end(), x.begin(), x.end());
+}
+
+std::size_t History::locate(double t) const {
+  const std::size_t n = times_.size();
+  std::size_t hi = cursor_;
+  // The hint brackets a valid search start iff times_[hi-1] < t: every index
+  // below hi is then < t too, so the first index with times_[i] >= t lies at
+  // or ahead of hi — exactly what lower_bound over [start_, n) would return.
+  if (hi > start_ && hi < n && times_[hi - 1] < t) {
+    for (int walked = 0; walked < kMaxHintWalk; ++walked) {
+      if (times_[hi] >= t) {
+        kLookupHintHits.add();
+        cursor_ = hi;
+        return hi;
+      }
+      ++hi;  // cannot pass n-1: callers guarantee t < times_.back()
+    }
+  }
+  const auto begin = times_.begin() + static_cast<std::ptrdiff_t>(start_);
+  hi = static_cast<std::size_t>(std::lower_bound(begin, times_.end(), t) -
+                                times_.begin());
+  cursor_ = hi;
+  return hi;
 }
 
 double History::value(std::size_t var, double t) const {
@@ -44,10 +76,7 @@ double History::value(std::size_t var, double t) const {
     kLookupClamped.add();
     return states_[(n - 1) * dim_ + var];
   }
-  // Binary search over [start_, n).
-  const auto begin = times_.begin() + static_cast<std::ptrdiff_t>(start_);
-  const auto it = std::lower_bound(begin, times_.end(), t);
-  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t hi = locate(t);
   const std::size_t lo = hi - 1;
   const double span = times_[hi] - times_[lo];
   const double vlo = states_[lo * dim_ + var];
@@ -57,16 +86,53 @@ double History::value(std::size_t var, double t) const {
   return vlo + w * (vhi - vlo);
 }
 
+std::span<const double> History::values(double t) const {
+  assert(!times_.empty());
+  kDelayedLookups.add();
+  const std::size_t n = times_.size();
+  // Clamped reads return the stored row directly — zero copy.
+  if (t <= times_[start_]) {
+    kLookupClamped.add();
+    return {states_.data() + start_ * dim_, dim_};
+  }
+  if (t >= times_[n - 1]) {
+    kLookupClamped.add();
+    return {states_.data() + (n - 1) * dim_, dim_};
+  }
+  const std::size_t hi = locate(t);
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  const double* row_lo = states_.data() + lo * dim_;
+  const double* row_hi = states_.data() + hi * dim_;
+  if (span <= 0.0) return {row_hi, dim_};
+  const double w = (t - times_[lo]) / span;
+  batch_buf_.resize(dim_);
+  for (std::size_t v = 0; v < dim_; ++v) {
+    // Same expression as value(): results are bit-identical either way.
+    batch_buf_[v] = row_lo[v] + w * (row_hi[v] - row_lo[v]);
+  }
+  return {batch_buf_.data(), dim_};
+}
+
 void History::trim_before(double t_keep) {
-  std::size_t new_start = start_;
-  while (new_start + 2 < times_.size() && times_[new_start + 1] < t_keep) ++new_start;
-  if (new_start == start_) return;
+  const std::size_t n = times_.size();
+  if (n < 3) return;
+  // First index past start_ with times_[i] >= t_keep; the entry before it is
+  // the newest point still needed to interpolate across t_keep.
+  const auto begin = times_.begin() + static_cast<std::ptrdiff_t>(start_ + 1);
+  const std::size_t first_ge = static_cast<std::size_t>(
+      std::lower_bound(begin, times_.end(), t_keep) - times_.begin());
+  const std::size_t new_start = std::min(first_ge - 1, n - 2);
+  if (new_start <= start_) return;
   start_ = new_start;
   // Physically compact occasionally to bound memory.
   if (start_ > 4096 && start_ > times_.size() / 2) {
     times_.erase(times_.begin(), times_.begin() + static_cast<std::ptrdiff_t>(start_));
     states_.erase(states_.begin(),
                   states_.begin() + static_cast<std::ptrdiff_t>(start_ * dim_));
+    // Shift the cursor with the data; a cursor that pointed into the erased
+    // prefix is simply invalidated (locate() re-validates before trusting it).
+    cursor_ = cursor_ >= start_ ? cursor_ - start_ : 0;
     start_ = 0;
   }
 }
@@ -75,6 +141,7 @@ DdeSolver::DdeSolver(const DdeSystem& system, std::vector<double> initial_state,
                      double t0, double dt)
     : system_(system),
       t_(t0),
+      t0_(t0),
       dt_(dt),
       x_(std::move(initial_state)),
       history_(system.dim()),
@@ -130,32 +197,65 @@ void DdeSolver::commit(double t_new) {
 void DdeSolver::step() {
   if (!guard_) {
     advance(dt_);
-    commit(t_ + dt_);
+    ++step_index_;
+    commit(grid_time(step_index_));
     return;
   }
 
-  const double t_start = t_;
-  x_save_.assign(x_.begin(), x_.end());
-  double h = dt_;
-  Diagnostic diag;
-  for (int attempt = 0; attempt <= max_step_halvings_; ++attempt) {
-    advance(h);
-    diag = {};
-    if (guard_(t_start + h, x_, diag)) {
-      if (attempt > 0) ++steps_retried_;
-      commit(t_start + h);
-      return;
+  // Guarded path: the nominal step may be split into several accepted
+  // sub-steps, but it always finishes at the next grid point — a retry must
+  // never shift the time grid for the rest of the run. The halving budget is
+  // shared across the whole nominal step, so a guard that keeps rejecting
+  // (e.g. a hard NaN wall mid-step) exhausts it and surfaces its diagnostic
+  // instead of creeping toward the wall forever.
+  const double t_next = grid_time(step_index_ + 1);
+  int rejections = 0;
+  while (t_ < t_next) {
+    const double t_start = t_;
+    // An untouched step advances by exactly dt_ — bit-identical to the
+    // unguarded path, which (t_next - t_start) need not be at the ulp level.
+    const bool whole_step = t_start == grid_time(step_index_);
+    double h = whole_step ? dt_ : t_next - t_start;
+    bool covers = true;  // current h spans all the way to t_next
+    x_save_.assign(x_.begin(), x_.end());
+    Diagnostic diag;
+    bool accepted = false;
+    while (!accepted) {
+      advance(h);
+      diag = {};
+      // A sub-step covering the whole remainder lands exactly on the grid
+      // point rather than on t_start + h, which can differ by an ulp.
+      const double t_sub = covers ? t_next : t_start + h;
+      if (guard_(t_sub, x_, diag)) {
+        commit(t_sub);
+        accepted = true;
+        break;
+      }
+      // Rejected: roll back to the last accepted state and try a gentler step.
+      x_.assign(x_save_.begin(), x_save_.end());
+      kStepRetries.add();
+      obs::trace_instant("fluid.step_retry", t_start * 1e6, h);
+      if (++rejections > max_step_halvings_) {
+        if (diag.component.empty()) diag.component = "DdeSolver";
+        diag.last_good_time = t_start;
+        diag.last_good_state = x_save_;
+        throw InvariantViolation(std::move(diag));
+      }
+      h *= 0.5;
+      covers = false;
     }
-    // Rejected: roll back to the last accepted state and try a gentler step.
-    x_.assign(x_save_.begin(), x_save_.end());
-    kStepRetries.add();
-    obs::trace_instant("fluid.step_retry", t_start * 1e6, h);
-    h *= 0.5;
+    if (!(t_ > t_start)) {
+      // h underflowed below one ulp of t_: the guard keeps accepting steps
+      // too small to advance time. Abort rather than spin forever.
+      diag = Diagnostic::make("DdeSolver", "step_size", t_start, h,
+                              "guarded sub-step too small to advance time");
+      diag.last_good_time = t_start;
+      diag.last_good_state = x_save_;
+      throw InvariantViolation(std::move(diag));
+    }
   }
-  if (diag.component.empty()) diag.component = "DdeSolver";
-  diag.last_good_time = t_start;
-  diag.last_good_state = x_save_;
-  throw InvariantViolation(std::move(diag));
+  ++step_index_;
+  if (rejections > 0) ++steps_retried_;
 }
 
 void DdeSolver::run_until(
@@ -164,12 +264,39 @@ void DdeSolver::run_until(
     double sample_interval) {
   obs::ScopedTimer timer(kRunNs);
   const bool tracing = obs::trace_enabled();
-  double next_sample = t_;
-  while (t_ < t_end - 1e-15) {
-    if (observer && t_ >= next_sample) {
-      observer(t_, x_);
-      if (sample_interval > 0.0) {
-        while (next_sample <= t_) next_sample += sample_interval;
+  // Index-based termination: the target step count is computed once from
+  // (t_end - t0) / dt, so neither the step loop nor the sampling below
+  // accumulates floating-point error — 1e7 steps end exactly where a single
+  // computation says they should. The (1 - 1e-12) shaves representation
+  // noise so a t_end that is meant to be a multiple of dt does not round up
+  // to an extra step.
+  std::uint64_t k_end = step_index_;
+  const double raw = (t_end - t0_) / dt_;
+  if (raw > 0.0) {
+    const auto k_raw = static_cast<std::uint64_t>(std::ceil(raw * (1.0 - 1e-12)));
+    if (k_raw > k_end) k_end = k_raw;
+  }
+  const double t_anchor = t_;
+  std::uint64_t sample_index = 0;  // next sample at t_anchor + index*interval
+  while (step_index_ < k_end) {
+    if (observer) {
+      bool fire = sample_interval <= 0.0;
+      if (!fire) {
+        // The same representation-noise epsilon as k_end: a grid point that
+        // is meant to *be* the sample instant (interval a multiple of dt)
+        // must fire on it, not one step later, so sampling stays evenly
+        // spaced instead of jittering by one dt on rounding luck.
+        const double target = static_cast<double>(sample_index) * sample_interval;
+        fire = t_ - t_anchor >= target * (1.0 - 1e-12);
+      }
+      if (fire) {
+        observer(t_, x_);
+        if (sample_interval > 0.0) {
+          const double ratio = (t_ - t_anchor) / sample_interval;
+          const auto crossed =
+              static_cast<std::uint64_t>(std::floor(ratio)) + 1;
+          sample_index = std::max(sample_index + 1, crossed);
+        }
       }
     }
     step();

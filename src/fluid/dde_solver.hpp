@@ -15,6 +15,14 @@
 // the last recorded point clamp to it (and before t0 clamp to the initial
 // state, i.e. a constant pre-history, which matches the models' semantics of
 // "flows start at t=0 with an empty queue").
+//
+// Time grid: the solver never accumulates `t += dt`. It tracks an integer
+// step index and computes t = t0 + k*dt per commit, so step counts (and the
+// observer's sample count) are exact for any horizon — 1e7 steps land on the
+// same grid points a fresh solver would compute, with no floating-point
+// drift. A guard-rejected step is retried at half size but always completes
+// the remaining sub-steps of the original dt, so retries never shift the
+// grid either.
 
 #include <cstddef>
 #include <cstdint>
@@ -28,6 +36,11 @@ namespace ecnd::fluid {
 
 /// Dense solution history: state vectors recorded at each accepted step.
 /// Provides interpolated random access for delayed right-hand-side terms.
+///
+/// Lookups are amortized O(1): successive delayed reads within an RK4 step
+/// are non-decreasing in t per delay lane, so a monotonic cursor remembers
+/// the last interpolation bracket and walks forward from it, falling back to
+/// binary search on backward jumps (e.g. TIMELY's per-flow tau* lanes).
 class History {
  public:
   explicit History(std::size_t dim) : dim_(dim) {}
@@ -43,15 +56,27 @@ class History {
   /// to the recorded span).
   double value(std::size_t var, double t) const;
 
+  /// All dim() state variables at time t — one history search instead of
+  /// dim() of them, for right-hand sides that read many variables at the
+  /// same delayed time. The returned span is valid until the next values()
+  /// call, append() or trim_before() on this History.
+  std::span<const double> values(double t) const;
+
   /// Drop history strictly older than t_keep (ring-buffer style trimming so
   /// long runs don't grow unboundedly). Keeps at least two points.
   void trim_before(double t_keep);
 
  private:
+  /// First index in (start_, size) with times_[i] >= t. Precondition:
+  /// times_[start_] < t < times_.back(). Maintains the cursor hint.
+  std::size_t locate(double t) const;
+
   std::size_t dim_;
   std::vector<double> times_;
   std::vector<double> states_;  // row-major: states_[i * dim_ + var]
   std::size_t start_ = 0;       // logical start after trimming
+  mutable std::size_t cursor_ = 0;          // last interpolation bracket (hi)
+  mutable std::vector<double> batch_buf_;   // scratch row for values()
 };
 
 /// A delayed dynamical system dx/dt = f(t, x(t), history).
@@ -93,17 +118,18 @@ class DdeSolver {
   const History& history() const { return history_; }
 
   /// Install an invariant guard. A rejected step is retried from the last
-  /// accepted state at half the step size, up to `max_step_halvings` times
-  /// (graceful degradation through a stiff transient); if even the smallest
-  /// step is rejected the solver throws InvariantViolation carrying the
-  /// guard's diagnostic plus the last good state. The nominal dt is restored
-  /// for the following step.
+  /// accepted state at half the step size (graceful degradation through a
+  /// stiff transient); the remaining sub-steps of the nominal dt are then
+  /// completed, so the post-step time is always t0 + k*dt regardless of
+  /// retries. `max_step_halvings` bounds the total rejections within one
+  /// nominal step; past it the solver throws InvariantViolation carrying
+  /// the guard's diagnostic plus the last good state.
   void set_guard(Guard guard, int max_step_halvings = 6);
 
   /// Steps that needed at least one halving before a guard accepted them.
   std::uint64_t steps_retried() const { return steps_retried_; }
 
-  /// Advance one step of size dt (less when the guard forces a retry).
+  /// Advance one nominal step: time moves from t0 + k*dt to t0 + (k+1)*dt.
   void step();
 
   /// Advance until time t_end, invoking `observer(t, x)` every
@@ -117,10 +143,15 @@ class DdeSolver {
   /// One RK4 update of size h applied in place to x_ (no history append).
   void advance(double h);
   void commit(double t_new);
+  double grid_time(std::uint64_t k) const {
+    return t0_ + static_cast<double>(k) * dt_;
+  }
 
   const DdeSystem& system_;
   double t_;
+  double t0_;
   double dt_;
+  std::uint64_t step_index_ = 0;  // t_ == grid_time(step_index_) between steps
   std::vector<double> x_;
   History history_;
   // Scratch buffers for RK4 stages (avoid per-step allocation).

@@ -49,13 +49,15 @@ void DcqcnPiFluidModel::rhs(double t, std::span<const double> x,
   dxdt[marking_index()] = dp;
 
   // Senders receive the *delayed* controller output, exactly as they
-  // received the delayed RED marking probability before.
-  const double p_delayed = std::clamp(past.value(marking_index(), t_delayed), 0.0, 1.0);
+  // received the delayed RED marking probability before. One batch lookup
+  // serves the marking state and every flow's delayed rate.
+  const std::span<const double> delayed = past.values(t_delayed);
+  const double p_delayed = std::clamp(delayed[marking_index()], 0.0, 1.0);
+  const auto shared = flow_dynamics_.make_marking_shared(p_delayed);
   for (int i = 0; i < P.num_flows; ++i) {
-    const double rc_delayed = past.value(rate_index(i), t_delayed);
-    const DcqcnFluidModel::FlowDerivatives d = flow_dynamics_.flow_rhs(
-        x[alpha_index(i)], x[target_rate_index(i)], x[rate_index(i)], p_delayed,
-        rc_delayed);
+    const DcqcnFluidModel::FlowDerivatives d = flow_dynamics_.flow_rhs_shared(
+        x[alpha_index(i)], x[target_rate_index(i)], x[rate_index(i)], shared,
+        delayed[rate_index(i)]);
     dxdt[alpha_index(i)] = d.dalpha;
     dxdt[target_rate_index(i)] = d.dtarget;
     dxdt[rate_index(i)] = d.drate;
@@ -126,13 +128,15 @@ void PatchedTimelyPiFluidModel::rhs(double t, std::span<const double> x,
   dxdt[queue_index()] = dq;
 
   const double tau_prime = feedback_delay(q);
-  const double q_hat = past.value(queue_index(), t - tau_prime);
+  // One batch lookup serves the delayed queue and every delayed rate below.
+  const std::span<const double> delayed = past.values(t - tau_prime);
+  const double q_hat = delayed[queue_index()];
 
   // Rate of change of the delayed observation: the queue law evaluated on
   // delayed rates (gated the same way the queue itself is).
   double sum_r_delayed = 0.0;
   for (int i = 0; i < P.num_flows; ++i) {
-    sum_r_delayed += past.value(rate_index(i), t - tau_prime);
+    sum_r_delayed += delayed[rate_index(i)];
   }
   double dq_hat = sum_r_delayed - C;
   if (q_hat <= 0.0 && dq_hat < 0.0) dq_hat = 0.0;

@@ -183,7 +183,7 @@ void Port::try_transmit() {
   if (fault_hook_) fault = fault_hook_(pkt, sim_.now());
   if (fault.flip_ecn) pkt.ecn_marked = !pkt.ecn_marked;
 
-  const PicoTime serialization = serialization_time(pkt.size, rate_);
+  const PicoTime serialization = serialization_ps(pkt.size);
   busy_ = true;
   // Transmitter frees up after serialization; the packet lands at the peer
   // after serialization + propagation.

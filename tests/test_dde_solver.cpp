@@ -207,5 +207,122 @@ TEST(DdeSolver, ClampIsApplied) {
   EXPECT_DOUBLE_EQ(solver.state()[0], 0.0);
 }
 
+TEST(History, BatchValuesMatchPerVariableLookups) {
+  History h(3);
+  const double rows[4][3] = {{1.0, 10.0, -5.0},
+                             {2.0, 30.0, -6.0},
+                             {8.0, 20.0, -9.0},
+                             {4.0, 40.0, -1.0}};
+  for (int i = 0; i < 4; ++i) h.append(i * 0.25, rows[i]);
+  // Interior, exact-sample, and both clamped ends: values() must agree
+  // bit-for-bit with the per-variable path.
+  for (const double t : {-1.0, 0.0, 0.1, 0.25, 0.3, 0.62, 0.75, 0.9, 2.0}) {
+    const std::span<const double> batch = h.values(t);
+    ASSERT_EQ(batch.size(), 3u);
+    for (std::size_t v = 0; v < 3; ++v) {
+      EXPECT_DOUBLE_EQ(batch[v], h.value(v, t)) << "t=" << t << " var=" << v;
+    }
+  }
+}
+
+TEST(History, CursorHandlesForwardWalksAndBackwardJumps) {
+  // The lookup cursor assumes mostly forward motion; a backward jump (as in
+  // TIMELY's per-flow tau* lanes) must fall back to binary search and still
+  // interpolate exactly.
+  History h(1);
+  for (int i = 0; i <= 1000; ++i) {
+    double v = 2.0 * i;
+    h.append(i * 1e-3, std::span<const double>(&v, 1));
+  }
+  // Forward sweep primes the cursor near the end...
+  for (int i = 1; i <= 999; ++i) {
+    EXPECT_DOUBLE_EQ(h.value(0, i * 1e-3 + 5e-4), 2.0 * i + 1.0);
+  }
+  // ...then jump far back, far forward, and back again.
+  EXPECT_DOUBLE_EQ(h.value(0, 0.0125), 25.0);
+  EXPECT_DOUBLE_EQ(h.value(0, 0.9875), 1975.0);
+  EXPECT_DOUBLE_EQ(h.value(0, 0.0005), 1.0);
+}
+
+TEST(History, CompactionBoundaryStaysInterpolationExact) {
+  // Drive the logical start past the physical-compaction threshold (4096)
+  // and check that lookups just above t_keep return the same interpolated
+  // values before and after the buffers are physically erased — i.e. the
+  // straddling point survives compaction and the cursor cache is remapped
+  // (or invalidated) rather than left pointing at shifted indices.
+  History h(1);
+  for (int i = 0; i <= 12000; ++i) {
+    double v = 3.0 * i;
+    h.append(i * 1e-3, std::span<const double>(&v, 1));
+  }
+  // Prime the cursor deep into the prefix that is about to be erased.
+  EXPECT_DOUBLE_EQ(h.value(0, 1.0005), 3001.5);
+  const double before_a = h.value(0, 7.0001);
+  const double before_b = h.value(0, 7.0015);
+  h.trim_before(7.0);  // start_ ≈ 6999 > 4096 and > size/2 → compacts
+  EXPECT_DOUBLE_EQ(h.value(0, 7.0001), before_a);
+  EXPECT_DOUBLE_EQ(h.value(0, 7.0015), before_b);
+  EXPECT_DOUBLE_EQ(h.value(0, 11.9995), 3.0 * 11999 + 1.5);
+  // Lookups below the kept window clamp to the new start.
+  EXPECT_DOUBLE_EQ(h.value(0, 1.0), h.value(0, 6.999));
+  // And the batch path agrees after compaction too.
+  EXPECT_DOUBLE_EQ(h.values(7.0001)[0], before_a);
+}
+
+TEST(DdeSolver, GuardRetryRealignsToNominalGrid) {
+  // Regression: a step rejected at h=dt and accepted at h=dt/2 used to
+  // commit at t_start + dt/2 and return, permanently shifting every later
+  // step (and CSV row) off the nominal grid. The guarded step must complete
+  // the remainder of dt, so post-retry times realign to t0 + k*dt.
+  DecaySystem sys(1.0);
+  const double dt = 1e-3;
+  DdeSolver solver(sys, {1.0}, 0.0, dt);
+  int rejections = 0;
+  solver.set_guard([&](double t, std::span<const double>, Diagnostic& diag) {
+    if (rejections == 0 && t >= 5.0 * dt - 1e-12) {
+      ++rejections;
+      diag = Diagnostic::make("test", "x", t, 0.0, "injected rejection");
+      return false;
+    }
+    return true;
+  });
+  for (int k = 1; k <= 10; ++k) {
+    solver.step();
+    EXPECT_DOUBLE_EQ(solver.time(), static_cast<double>(k) * dt)
+        << "after step " << k;
+  }
+  EXPECT_EQ(rejections, 1);
+  EXPECT_EQ(solver.steps_retried(), 1u);
+}
+
+TEST(DdeSolver, LongHorizonStepAndSampleCountsExact) {
+  // Regression: run_until's old `t_ < t_end - 1e-15` loop and the observer's
+  // `next_sample += interval` accumulation both drifted; over 1e7 steps the
+  // run could gain/lose steps and samples. With index-based time the counts
+  // are exact for any horizon.
+  DecaySystem sys(1e-4);  // negligible decay; we only count
+  DdeSolver solver(sys, {1.0}, 0.0, 1e-3);
+  std::uint64_t rows = 0;
+  double last_t = -1.0;
+  double min_spacing = 1e300, max_spacing = 0.0;
+  solver.run_until(
+      1e4,  // 1e7 steps of dt=1e-3
+      [&](double t, std::span<const double>) {
+        if (rows > 0 && t > last_t) {
+          min_spacing = std::min(min_spacing, t - last_t);
+          max_spacing = std::max(max_spacing, t - last_t);
+        }
+        last_t = t;
+        ++rows;
+      },
+      1.0);
+  // Samples at t = 0, 1, ..., 9999 inside the loop plus the final state at
+  // t_end: exactly 10001 rows, evenly spaced.
+  EXPECT_EQ(rows, 10001u);
+  EXPECT_NEAR(solver.time(), 1e4, 1e-6);
+  EXPECT_NEAR(min_spacing, 1.0, 1e-9);
+  EXPECT_NEAR(max_spacing, 1.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace ecnd::fluid

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "core/diagnostic.hpp"
 #include "fluid/dcqcn_model.hpp"
@@ -343,6 +345,55 @@ TEST(Watchdogs, WallClockLimitAborts) {
     EXPECT_EQ(violation.diagnostic().variable, "wall_clock_seconds");
   }
   EXPECT_TRUE(threw);
+}
+
+TEST(Watchdogs, WallClockRestartsOnEachRun) {
+  // Regression: the wall clock used to start at set_wall_clock_limit() and
+  // never reset, so host time spent *between* runs (or in an earlier run)
+  // counted against later ones — and the (processed & 0xFFF) amortization
+  // could skip the first check of a re-entered run entirely. The limit now
+  // bounds each run_until()/run_all() episode separately.
+  sim::Simulator sim;
+  sim.set_wall_clock_limit(0.2);
+  sim.schedule_at(100, [] {});
+  sim.run_until(1000);
+  // Idle host time after the first run must not count against the second.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  sim.schedule_at(2000, [] {});
+  EXPECT_NO_THROW(sim.run_until(3000));
+}
+
+TEST(Watchdogs, SleepingFaultHookTripsSecondRunEvenWhenQueueDrains) {
+  // Regression: run_until() never checked the wall-clock watchdog when the
+  // queue drained before the amortized in-loop check fired, so a handful of
+  // pathologically slow events (here: a fault hook that stalls the host)
+  // escaped an armed limit. The hook fires inside the *second* run_until
+  // call, which also exercises the per-run clock reset path.
+  sim::Simulator sim;
+  Rng rng(7);
+  RecordingSink sink;
+  sim::Port port(sim, rng, "p", gbps(10.0), 0);
+  port.connect(&sink, 0);
+  port.set_fault_hook([](const sim::Packet&, PicoTime) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    return sim::FaultAction{};
+  });
+  sim.set_wall_clock_limit(0.05);
+
+  sim.run_until(1000);  // clean first run: nothing scheduled, no throw
+
+  // Transmit (and therefore the stalling hook) happens during event dispatch;
+  // the queue drains a few events later, well before the amortized in-loop
+  // check would ever fire.
+  sim.schedule_at(microseconds(1.0), [&] {
+    port.enqueue(make_packet(sim::PacketType::kData, 1000));
+  });
+  try {
+    sim.run_until(microseconds(100.0));
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& violation) {
+    EXPECT_EQ(violation.diagnostic().variable, "wall_clock_seconds");
+  }
 }
 
 TEST(HostGuard, NanRateRegisterFailsLoudly) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <stdexcept>
+
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -269,6 +272,92 @@ TEST(Simulator, FutureSchedulesAreNotCountedLate) {
   sim.schedule_at(10, [] {});  // same-time is on time, not late
   sim.run_all();
   EXPECT_EQ(sim.late_schedules(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Pooled event arena: action lifetimes, recycling, and oversized fallbacks.
+
+/// Counts live copies so tests can observe action construction/destruction.
+struct LifeTracker {
+  explicit LifeTracker(int* live) : live(live) { ++*live; }
+  LifeTracker(const LifeTracker& o) : live(o.live) { ++*live; }
+  LifeTracker(LifeTracker&& o) noexcept : live(o.live) { ++*live; }
+  ~LifeTracker() { --*live; }
+  int* live;
+};
+
+TEST(EventPool, ActionsAreDestroyedAfterDispatch) {
+  Simulator sim;
+  int live = 0;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(i, [&fired, tracker = LifeTracker(&live)] { ++fired; });
+  }
+  EXPECT_GT(live, 0);
+  sim.run_all();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(live, 0);  // every capture destroyed once its event dispatched
+}
+
+TEST(EventPool, PendingActionsAreDestroyedWithTheSimulator) {
+  int live = 0;
+  {
+    Simulator sim;
+    for (int i = 0; i < 10; ++i) {
+      sim.schedule_at(1000 + i, [tracker = LifeTracker(&live)] {});
+    }
+    sim.run_until(10);  // none dispatched
+    EXPECT_EQ(live, 10);
+  }
+  EXPECT_EQ(live, 0);  // destructor drains the queue and destroys captures
+}
+
+TEST(EventPool, ThrowingActionStillRecyclesItsSlot) {
+  Simulator sim;
+  int live = 0;
+  bool after_ran = false;
+  sim.schedule_at(1, [tracker = LifeTracker(&live)] {
+    throw std::runtime_error("mid-run failure");
+  });
+  sim.schedule_at(2, [&after_ran] { after_ran = true; });
+  EXPECT_THROW(sim.run_all(), std::runtime_error);
+  EXPECT_EQ(live, 0);  // the throwing action's capture was destroyed
+  sim.run_all();       // the simulator remains usable
+  EXPECT_TRUE(after_ran);
+}
+
+TEST(EventPool, OversizedCapturesFallBackToHeapAndStillRun) {
+  // Larger than the 64-byte inline slot buffer: exercises the heap path.
+  struct Big {
+    double payload[32];
+  };
+  Simulator sim;
+  Big big{};
+  big.payload[0] = 1.0;
+  big.payload[31] = 2.0;
+  double sum = 0.0;
+  int live = 0;
+  sim.schedule_at(5, [big, tracker = LifeTracker(&live), &sum] {
+    sum = big.payload[0] + big.payload[31];
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+  EXPECT_EQ(live, 0);
+}
+
+TEST(EventPool, SteadyStateChurnKeepsPendingBounded) {
+  // A self-rescheduling chain dispatches 100k events through what should be
+  // a handful of recycled slots; pending never exceeds the live event count.
+  Simulator sim;
+  int remaining = 100000;
+  std::function<void()> pump = [&] {
+    if (--remaining > 0) sim.schedule_in(1, pump);
+  };
+  sim.schedule_at(0, pump);
+  sim.run_all();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.events_processed(), 100000u);
 }
 
 }  // namespace
