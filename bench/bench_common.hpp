@@ -8,12 +8,15 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/journal.hpp"
 #include "core/parallel.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "core/timeseries.hpp"
+#include "obs/manifest.hpp"
 
 namespace ecnd::bench {
 
@@ -51,6 +54,69 @@ inline void report_timing(const std::string& label, const par::SweepTiming& t) {
                "%.2fs, slowest task %.2fs, speedup %.1fx)\n",
                label.c_str(), t.tasks, t.threads, t.wall_s, t.task_sum_s,
                t.task_max_s, t.speedup());
+}
+
+/// Sweep journal wiring shared by the figure harnesses: the journal file
+/// comes from ECND_JOURNAL=<path>, and `--resume` on the command line loads
+/// completed cells from it instead of truncating. Without ECND_JOURNAL the
+/// context is inert and the harness behaves exactly as before.
+class SweepContext {
+ public:
+  SweepContext(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--resume") resume_ = true;
+    }
+    const char* path = std::getenv("ECND_JOURNAL");
+    if (path != nullptr) {
+      journal_.open(path, resume_);
+    } else if (resume_) {
+      std::fprintf(stderr,
+                   "[journal] --resume given but ECND_JOURNAL is not set; "
+                   "running the full sweep\n");
+    }
+  }
+
+  SweepJournal& journal() { return journal_; }
+  bool resume() const { return resume_; }
+
+ private:
+  SweepJournal journal_;
+  bool resume_ = false;
+};
+
+/// Report journal reuse to STDERR (stdout stays byte-identical between clean
+/// and resumed runs — that is the whole point). scripts/check.sh
+/// --resume-smoke parses this line.
+inline void report_journal(const std::string& label, const SweepJournal& journal,
+                           const JournalStats& stats) {
+  if (!journal.enabled()) return;
+  std::fprintf(stderr,
+               "[journal] %s: reused %zu of %zu cells (%zu run, %zu "
+               "quarantined)\n",
+               label.c_str(), stats.reused, stats.cells, stats.executed,
+               stats.quarantined);
+}
+
+/// Surface quarantined cells on STDERR and in the manifest's failures
+/// section. `cells` are the canonical cell strings the sweep was keyed on
+/// (report indices are grid indices).
+inline void record_failures(const std::string& label,
+                            const std::vector<std::string>& cells,
+                            const par::IsolationReport& report,
+                            obs::RunManifest& manifest) {
+  for (const par::TaskFailureRecord& f : report.failures) {
+    std::fprintf(stderr, "[%s] cell %zu (%s) quarantined after %d attempt(s): %s\n",
+                 label.c_str(), f.index, cells[f.index].c_str(), f.attempts,
+                 f.message.c_str());
+    if (f.has_diagnostic) {
+      manifest.failure(cells[f.index], f.diagnostic.component,
+                       f.diagnostic.variable, f.diagnostic.time,
+                       f.diagnostic.value, f.diagnostic.detail, f.attempts);
+    } else {
+      manifest.failure(cells[f.index], "", "", 0.0, 0.0, f.message,
+                       f.attempts);
+    }
+  }
 }
 
 }  // namespace ecnd::bench

@@ -38,32 +38,52 @@ struct GridPoint {
   int num_flows = 0;
 };
 
+/// One sub-figure's sweep output: the flat margin grid (param-major,
+/// matching the printed rows), the canonical cell strings it was journaled
+/// under, and the fault-isolation report for the manifest.
+struct MarginGrid {
+  std::vector<double> margins;
+  std::vector<std::string> cells;
+  par::IsolationReport report;
+};
+
 /// Sweep margins for param x N on the thread pool; rows print in grid order.
-/// Returns the flat margin grid (param-major, matching the printed rows) so
-/// the caller can derive manifest observables from specific cells.
+/// `cell_tag` canonically names the swept parameter in the journal key
+/// (e.g. "a|tau_us").
 template <typename Apply>
-std::vector<double> print_margin_grid(const char* label,
-                                      const char* param_header,
-                                      const std::vector<double>& params,
-                                      const std::vector<int>& flow_counts,
-                                      int param_precision, Apply apply) {
+MarginGrid print_margin_grid(bench::SweepContext& ctx, const char* label,
+                             const char* cell_tag, const char* param_header,
+                             const std::vector<double>& params,
+                             const std::vector<int>& flow_counts,
+                             int param_precision, Apply apply) {
   std::vector<GridPoint> grid;
   grid.reserve(params.size() * flow_counts.size());
   for (double param : params) {
     for (int n : flow_counts) grid.push_back({param, n});
   }
 
-  par::SweepTiming timing;
-  const std::vector<double> margins = par::parallel_map(
-      grid,
-      [&](const GridPoint& point) {
+  MarginGrid out;
+  for (const GridPoint& point : grid) {
+    char cell[96];
+    std::snprintf(cell, sizeof(cell), "fig03|%s=%.17g|n=%d", cell_tag,
+                  point.param, point.num_flows);
+    out.cells.push_back(cell);
+  }
+
+  auto sweep = journaled_map<double>(
+      ctx.journal(), out.cells,
+      [&](std::size_t i, int) {
         fluid::DcqcnFluidParams p;
-        p.num_flows = point.num_flows;
-        apply(p, point.param);
+        p.num_flows = grid[i].num_flows;
+        apply(p, grid[i].param);
         return control::dcqcn_stability(p).phase_margin_deg;
       },
-      0, &timing);
-  bench::report_timing(label, timing);
+      [](double margin) { return FieldWriter().f(margin).str(); },
+      [](FieldParser& p) { return p.f(); }, par::FaultPolicy{2});
+  bench::report_timing(label, sweep.report.timing);
+  bench::report_journal(label, ctx.journal(), sweep.stats);
+  out.margins = std::move(sweep.rows);
+  out.report = std::move(sweep.report);
 
   std::vector<std::string> headers{param_header};
   for (int n : flow_counts) headers.push_back("N=" + std::to_string(n));
@@ -72,16 +92,17 @@ std::vector<double> print_margin_grid(const char* label,
   for (double param : params) {
     table.row().cell(param, param_precision);
     for (std::size_t c = 0; c < flow_counts.size(); ++c) {
-      table.cell(margins[slot++], 1);
+      table.cell(out.margins[slot++], 1);
     }
   }
   table.print(std::cout);
-  return margins;
+  return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::SweepContext ctx(argc, argv);
   bench::banner("Figure 3 - DCQCN phase margin vs flows / R_AI / Kmax",
                 "stable at small+large N; tuning R_AI down or Kmax up stabilizes");
 
@@ -89,27 +110,30 @@ int main() {
   const std::size_t ncols = flow_counts.size();
 
   std::cout << "(a) phase margin [deg] vs N, per control delay\n";
-  const std::vector<double> grid_a = print_margin_grid(
-      "fig03a", "tau* (us)", {1.0, 20.0, 50.0, 85.0, 100.0}, flow_counts, 0,
-      [](fluid::DcqcnFluidParams& p, double delay_us) {
+  const MarginGrid sweep_a = print_margin_grid(
+      ctx, "fig03a", "a|tau_us", "tau* (us)", {1.0, 20.0, 50.0, 85.0, 100.0},
+      flow_counts, 0, [](fluid::DcqcnFluidParams& p, double delay_us) {
         p.feedback_delay = delay_us * 1e-6;
       });
+  const std::vector<double>& grid_a = sweep_a.margins;
 
   std::cout << "\n(b) phase margin vs N at tau*=100us, per R_AI\n";
-  const std::vector<double> grid_b = print_margin_grid(
-      "fig03b", "R_AI (Mb/s)", {40.0, 20.0, 10.0, 5.0}, flow_counts, 0,
-      [](fluid::DcqcnFluidParams& p, double rai) {
+  const MarginGrid sweep_b = print_margin_grid(
+      ctx, "fig03b", "b|rai_mbps", "R_AI (Mb/s)", {40.0, 20.0, 10.0, 5.0},
+      flow_counts, 0, [](fluid::DcqcnFluidParams& p, double rai) {
         p.feedback_delay = 100e-6;
         p.rate_ai = mbps(rai);
       });
+  const std::vector<double>& grid_b = sweep_b.margins;
 
   std::cout << "\n(c) phase margin vs N at tau*=100us, per Kmax\n";
-  const std::vector<double> grid_c = print_margin_grid(
-      "fig03c", "Kmax (KB)", {200.0, 400.0, 1000.0}, flow_counts, 0,
-      [](fluid::DcqcnFluidParams& p, double kmax) {
+  const MarginGrid sweep_c = print_margin_grid(
+      ctx, "fig03c", "c|kmax_kb", "Kmax (KB)", {200.0, 400.0, 1000.0},
+      flow_counts, 0, [](fluid::DcqcnFluidParams& p, double kmax) {
         p.feedback_delay = 100e-6;
         p.kmax = kilobytes(kmax);
       });
+  const std::vector<double>& grid_c = sweep_c.margins;
 
   obs::RunManifest manifest("fig03");
   manifest.param("flow_counts_min", flow_counts.front())
@@ -131,6 +155,11 @@ int main() {
   // (c) widening Kmax likewise: N=2 cell at Kmax=200KB (row 0) vs 1MB (row 2).
   manifest.observable("pm_gain_deg.kmax200to1000.n2",
                       grid_c[2 * ncols] - grid_c[0 * ncols]);
+  bench::record_failures("fig03a", sweep_a.cells, sweep_a.report, manifest);
+  bench::record_failures("fig03b", sweep_b.cells, sweep_b.report, manifest);
+  bench::record_failures("fig03c", sweep_c.cells, sweep_c.report, manifest);
   manifest.write_if_requested();
-  return 0;
+  const bool ok = sweep_a.report.all_ok() && sweep_b.report.all_ok() &&
+                  sweep_c.report.all_ok();
+  return ok ? 0 : 1;
 }

@@ -29,9 +29,22 @@ struct SweepPoint {
   exp::Protocol protocol = exp::Protocol::kDcqcn;
 };
 
+// Journalable reduction of one cell: the statistics the table and manifest
+// actually print, not the full FctResult (whose traces would bloat the
+// journal for nothing).
+struct FctRow {
+  double median_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t count = 0;
+  double queue_mean_kb = 0.0;
+  std::uint64_t drops = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::SweepContext ctx(argc, argv);
   bench::banner("Figure 14 - small-flow FCT vs load",
                 "DCQCN best; TIMELY worst at high load; patched in between");
 
@@ -46,17 +59,51 @@ int main() {
     }
   }
 
-  par::SweepTiming timing;
-  const std::vector<exp::FctResult> results = par::parallel_map(
-      grid,
-      [&](const SweepPoint& point) {
-        auto config = exp::make_fct_config(point.protocol, point.load);
+  std::vector<std::string> cells;
+  for (const SweepPoint& point : grid) {
+    char cell[96];
+    std::snprintf(cell, sizeof(cell),
+                  "fig14|%s|load=%.17g|flows=%d|seed=20161212",
+                  exp::protocol_key(point.protocol), point.load, flows);
+    cells.push_back(cell);
+  }
+
+  const auto sweep = journaled_map<FctRow>(
+      ctx.journal(), cells,
+      [&](std::size_t i, int) {
+        auto config = exp::make_fct_config(grid[i].protocol, grid[i].load);
         config.num_flows = flows;
         config.seed = 20161212;  // CoNEXT'16
-        return exp::run_fct_experiment(config);
+        const exp::FctResult result = exp::run_fct_experiment(config);
+        FctRow row;
+        row.median_us = result.small.median_us;
+        row.p90_us = result.small.p90_us;
+        row.p99_us = result.small.p99_us;
+        row.count = static_cast<std::uint64_t>(result.small.count);
+        row.queue_mean_kb = result.queue_bytes.mean_over(0.0, 1e9) / 1e3;
+        row.drops = static_cast<std::uint64_t>(result.drops);
+        return row;
       },
-      0, &timing);
-  bench::report_timing("fig14", timing);
+      [](const FctRow& r) {
+        FieldWriter w;
+        w.f(r.median_us).f(r.p90_us).f(r.p99_us).u(r.count).f(r.queue_mean_kb);
+        w.u(r.drops);
+        return w.str();
+      },
+      [](FieldParser& p) {
+        FctRow r;
+        r.median_us = p.f();
+        r.p90_us = p.f();
+        r.p99_us = p.f();
+        r.count = p.u();
+        r.queue_mean_kb = p.f();
+        r.drops = p.u();
+        return r;
+      },
+      par::FaultPolicy{2});
+  const std::vector<FctRow>& results = sweep.rows;
+  bench::report_timing("fig14", sweep.report.timing);
+  bench::report_journal("fig14", ctx.journal(), sweep.stats);
 
   obs::RunManifest manifest("fig14");
   manifest.param("flows", flows)
@@ -67,30 +114,29 @@ int main() {
   Table table({"load", "protocol", "median (us)", "p90 (us)", "p99 (us)",
                "small flows", "queue mean (KB)", "drops"});
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    const exp::FctResult& result = results[i];
+    const FctRow& result = results[i];
     table.row()
         .cell(grid[i].load, 1)
         .cell(exp::protocol_name(grid[i].protocol))
-        .cell(result.small.median_us, 0)
-        .cell(result.small.p90_us, 0)
-        .cell(result.small.p99_us, 0)
-        .cell(static_cast<long long>(result.small.count))
-        .cell(result.queue_bytes.mean_over(0.0, 1e9) / 1e3, 1)
+        .cell(result.median_us, 0)
+        .cell(result.p90_us, 0)
+        .cell(result.p99_us, 0)
+        .cell(static_cast<long long>(result.count))
+        .cell(result.queue_mean_kb, 1)
         .cell(static_cast<long long>(result.drops));
 
     char key[64];
     std::snprintf(key, sizeof(key), ".%s.load%02d",
                   exp::protocol_key(grid[i].protocol),
                   static_cast<int>(grid[i].load * 10 + 0.5));
-    manifest.observable("fct_median_us" + std::string(key),
-                        result.small.median_us)
-        .observable("fct_p90_us" + std::string(key), result.small.p90_us)
-        .observable("queue_mean_kb" + std::string(key),
-                    result.queue_bytes.mean_over(0.0, 1e9) / 1e3);
+    manifest.observable("fct_median_us" + std::string(key), result.median_us)
+        .observable("fct_p90_us" + std::string(key), result.p90_us)
+        .observable("queue_mean_kb" + std::string(key), result.queue_mean_kb);
   }
   table.print(std::cout);
+  bench::record_failures("fig14", cells, sweep.report, manifest);
   manifest.write_if_requested();
   std::cout << "\n(set ECND_QUICK=1 for a faster, noisier run; ECND_THREADS=k"
                " caps the sweep's workers)\n";
-  return 0;
+  return sweep.report.all_ok() ? 0 : 1;
 }

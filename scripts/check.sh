@@ -25,7 +25,12 @@
 # anything on the machine that produced the baseline — regenerate it with
 # scripts/bench_baseline.sh when moving boxes.
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke|--report|--perf]
+# --resume-smoke exercises the crash-resume path end to end: run a journaled
+# sweep (bench_fig14 with ECND_JOURNAL), SIGKILL it mid-flight, re-run with
+# --resume, and require (a) the journal reported reused cells and (b) the
+# resumed stdout is byte-identical to an uninterrupted run.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke|--report|--perf|--resume-smoke]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,7 +51,7 @@ mode="${1:-all}"
 
 if [[ "$mode" != "--sanitize-only" && "$mode" != "--tsan-only" \
       && "$mode" != "--obs-smoke" && "$mode" != "--report" \
-      && "$mode" != "--perf" ]]; then
+      && "$mode" != "--perf" && "$mode" != "--resume-smoke" ]]; then
   echo "== plain build + tests (serial and threaded sweep paths) =="
   build_suite build
   run_tests build 1
@@ -203,6 +208,64 @@ if [[ "$mode" == "--perf" ]]; then
     --bench-current "$tmp/current.json" \
     --strict-perf
   echo "perf gate: within baseline tolerance"
+fi
+
+if [[ "$mode" == "--resume-smoke" ]]; then
+  echo "== crash-resume smoke (bench_fig14 + ECND_JOURNAL) =="
+  build_suite build
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  bench=build/bench/bench_fig14_fct_vs_load
+
+  echo "-- uninterrupted reference run"
+  ECND_QUICK=1 ECND_THREADS=2 ECND_JOURNAL="$tmp/ref_journal.txt" \
+    "$bench" > "$tmp/clean.csv" 2>/dev/null
+  total="$(grep -c ' done ' "$tmp/ref_journal.txt")"
+  echo "   $total cells journaled"
+
+  echo "-- interrupted run (SIGKILL once >=3 cells are journaled)"
+  ECND_QUICK=1 ECND_THREADS=2 ECND_JOURNAL="$tmp/journal.txt" \
+    "$bench" > /dev/null 2>&1 &
+  pid=$!
+  for _ in $(seq 1 200); do
+    done_cells="$(grep -c ' done ' "$tmp/journal.txt" 2>/dev/null || true)"
+    if [[ "${done_cells:-0}" -ge 3 ]]; then break; fi
+    if ! kill -0 "$pid" 2>/dev/null; then break; fi
+    sleep 0.05
+  done
+  if kill -9 "$pid" 2>/dev/null; then
+    wait "$pid" 2>/dev/null || true
+    echo "   killed after ${done_cells:-0} of $total cells"
+  else
+    wait "$pid" 2>/dev/null || true
+    echo "   note: sweep finished before the kill landed (resume still checked)"
+  fi
+
+  echo "-- resumed run"
+  ECND_QUICK=1 ECND_THREADS=2 ECND_JOURNAL="$tmp/journal.txt" \
+    "$bench" --resume > "$tmp/resumed.csv" 2> "$tmp/resumed.err"
+  if ! grep -q '^\[journal\]' "$tmp/resumed.err"; then
+    echo "ERROR: resumed run printed no [journal] summary" >&2
+    exit 1
+  fi
+  reused="$(sed -n 's/^\[journal\].*reused \([0-9]*\) of.*/\1/p' "$tmp/resumed.err")"
+  echo "   $(grep '^\[journal\]' "$tmp/resumed.err")"
+  if [[ "${reused:-0}" -lt 1 ]]; then
+    echo "ERROR: resumed run reused no journaled cells" >&2
+    exit 1
+  fi
+
+  echo "-- resumed stdout byte-identical to the uninterrupted run"
+  cmp "$tmp/clean.csv" "$tmp/resumed.csv"
+
+  echo "-- journal now covers the full grid"
+  final="$(grep -c ' done ' "$tmp/journal.txt")"
+  if [[ "$final" -ne "$total" ]]; then
+    echo "ERROR: journal has $final done cells, expected $total" >&2
+    exit 1
+  fi
+
+  echo "resume smoke: all checks passed"
 fi
 
 echo "check.sh: all requested suites passed"

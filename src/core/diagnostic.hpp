@@ -10,6 +10,7 @@
 // live next to each engine (sim/, fluid/) and in src/robust; this header only
 // defines the report format they share.
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -25,6 +26,11 @@ struct Diagnostic {
   double time = 0.0;      ///< simulation time in seconds
   double value = 0.0;     ///< the offending value (NaN/negative/over-bound)
   std::string detail;     ///< free-form explanation of the check that fired
+
+  /// Grid index of the sweep task the violation escaped from (-1 outside a
+  /// sweep). Stamped by the parallel engine so a one-cell failure in a
+  /// thousand-cell sweep is attributable without re-running anything.
+  std::int64_t task_index = -1;
 
   /// Last accepted state before the violation (fluid engine only; empty for
   /// packet-level checks, which have no single state vector).
@@ -61,6 +67,15 @@ class InvariantViolation : public std::runtime_error {
       : std::runtime_error(diag.to_string()), diag_(std::move(diag)) {
     detail::note_invariant_violation();
   }
+
+  /// Tag for rethrowing an already-counted violation with extra context
+  /// (e.g. its sweep task index, or a suppressed-failure note). Skips the
+  /// robust.invariant_violations bump so one violation is never counted
+  /// twice however many annotation hops it takes to the top.
+  struct Annotated {};
+  static constexpr Annotated kAnnotated{};
+  InvariantViolation(Diagnostic diag, Annotated)
+      : std::runtime_error(diag.to_string()), diag_(std::move(diag)) {}
 
   const Diagnostic& diagnostic() const { return diag_; }
 

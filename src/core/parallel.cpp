@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -27,6 +29,11 @@ const obs::Histogram kTaskNs =
     obs::histogram("prof.par.task_ns", obs::Domain::kWall);
 const obs::Histogram kSweepNs =
     obs::histogram("prof.par.sweep_ns", obs::Domain::kWall);
+// Fault accounting: every attempt that threw, retries granted by a
+// FaultPolicy, and tasks that stayed failed after their last attempt.
+const obs::Counter kTaskFailures = obs::counter("par.task_failures");
+const obs::Counter kTaskRetries = obs::counter("par.task_retries");
+const obs::Counter kQuarantined = obs::counter("par.quarantined");
 
 }  // namespace
 
@@ -75,7 +82,21 @@ SweepTiming parallel_for_each(std::size_t count,
   auto run_task = [&](std::size_t i) {
     obs::TaskScope scope(static_cast<std::uint32_t>(i) + 1);
     const auto t0 = Clock::now();
-    fn(i);
+    try {
+      fn(i);
+    } catch (const InvariantViolation& e) {
+      kTaskFailures.add();
+      // Stamp the grid index so a one-line report pinpoints the failing cell.
+      if (e.diagnostic().task_index < 0) {
+        Diagnostic d = e.diagnostic();
+        d.task_index = static_cast<std::int64_t>(i);
+        throw InvariantViolation(std::move(d), InvariantViolation::kAnnotated);
+      }
+      throw;
+    } catch (...) {
+      kTaskFailures.add();
+      throw;
+    }
     task_s[i] = seconds_since(t0);
     kTasks.add();
     kTaskNs.record(static_cast<std::uint64_t>(task_s[i] * 1e9));
@@ -87,6 +108,7 @@ SweepTiming parallel_for_each(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) run_task(i);
   } else {
     std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> failure_count{0};
     std::exception_ptr first_error;
     std::mutex error_mutex;
     auto worker = [&] {
@@ -96,6 +118,7 @@ SweepTiming parallel_for_each(std::size_t count,
         try {
           run_task(i);
         } catch (...) {
+          failure_count.fetch_add(1, std::memory_order_relaxed);
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
@@ -106,7 +129,25 @@ SweepTiming parallel_for_each(std::size_t count,
     for (std::size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
     worker();  // the calling thread is worker 0
     for (std::thread& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
+    if (first_error) {
+      // Surfacing only the first failure used to silently discard the rest;
+      // now the rethrown message says how many more died with it.
+      const std::size_t suppressed = failure_count.load() - 1;
+      if (suppressed == 0) std::rethrow_exception(first_error);
+      const std::string note = std::to_string(suppressed) +
+                               " additional task failure(s) suppressed";
+      try {
+        std::rethrow_exception(first_error);
+      } catch (const InvariantViolation& e) {
+        Diagnostic d = e.diagnostic();
+        if (!d.detail.empty()) d.detail += "; ";
+        d.detail += note;
+        throw InvariantViolation(std::move(d), InvariantViolation::kAnnotated);
+      } catch (const std::exception& e) {
+        throw std::runtime_error(std::string(e.what()) + " [" + note + "]");
+      }
+      // Non-std exceptions fall through std::rethrow_exception unannotated.
+    }
   }
 
   timing.wall_s = seconds_since(sweep_start);
@@ -116,6 +157,72 @@ SweepTiming parallel_for_each(std::size_t count,
   }
   kSweepNs.record(static_cast<std::uint64_t>(timing.wall_s * 1e9));
   return timing;
+}
+
+IsolationReport parallel_for_each_isolated(
+    std::size_t count, const std::function<void(std::size_t, int)>& fn,
+    FaultPolicy policy, std::size_t threads) {
+  if (policy.max_attempts < 1) policy.max_attempts = 1;
+
+  IsolationReport report;
+  // Per-index slots: no locking, and the final failure list comes out in
+  // grid order no matter which worker quarantined which cell.
+  std::vector<std::unique_ptr<TaskFailureRecord>> slots(count);
+  std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> failed_attempts{0};
+
+  // Returns true when the task should retry, false once it is quarantined.
+  auto note_failure = [&](std::size_t i, int attempt, std::string message,
+                          const Diagnostic* diag) {
+    failed_attempts.fetch_add(1, std::memory_order_relaxed);
+    kTaskFailures.add();
+    if (attempt + 1 < policy.max_attempts) {
+      retries.fetch_add(1, std::memory_order_relaxed);
+      kTaskRetries.add();
+      return true;
+    }
+    auto rec = std::make_unique<TaskFailureRecord>();
+    rec->index = i;
+    rec->attempts = attempt + 1;
+    rec->message = std::move(message);
+    if (diag) {
+      rec->diagnostic = *diag;
+      if (rec->diagnostic.task_index < 0) {
+        rec->diagnostic.task_index = static_cast<std::int64_t>(i);
+      }
+      rec->has_diagnostic = true;
+    }
+    slots[i] = std::move(rec);
+    kQuarantined.add();
+    return false;
+  };
+
+  report.timing = parallel_for_each(
+      count,
+      [&](std::size_t i) {
+        for (int attempt = 0;; ++attempt) {
+          try {
+            fn(i, attempt);
+            return;
+          } catch (const InvariantViolation& e) {
+            if (!note_failure(i, attempt, e.what(), &e.diagnostic())) return;
+          } catch (const std::exception& e) {
+            if (!note_failure(i, attempt, e.what(), nullptr)) return;
+          } catch (...) {
+            if (!note_failure(i, attempt, "unknown exception", nullptr)) {
+              return;
+            }
+          }
+        }
+      },
+      threads);
+
+  report.retries = retries.load();
+  report.failed_attempts = failed_attempts.load();
+  for (auto& rec : slots) {
+    if (rec) report.failures.push_back(std::move(*rec));
+  }
+  return report;
 }
 
 }  // namespace ecnd::par

@@ -25,7 +25,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
+
+#include "core/diagnostic.hpp"
 
 namespace ecnd::par {
 
@@ -56,9 +59,56 @@ struct SweepTiming {
 /// (0 = thread_count()). Tasks are claimed dynamically, so uneven task costs
 /// balance; determinism must come from the task body (write only to slot i,
 /// seed only from task_seed). threads==1 runs inline, no threads spawned.
+///
+/// Strict failure semantics: every task still runs (workers drain the index
+/// space), every failed task is counted in par.task_failures, and the first
+/// exception is rethrown on the calling thread once all workers join. When
+/// more than one task failed, the rethrown message gains an "N additional
+/// task failure(s) suppressed" note — an InvariantViolation keeps its type
+/// and diagnostic (note appended to the detail), any other std::exception is
+/// re-wrapped as std::runtime_error. The serial path (threads==1) instead
+/// aborts at the first failure, exactly like a plain loop would.
+/// Use parallel_for_each_isolated to keep per-task failures out of band.
 SweepTiming parallel_for_each(std::size_t count,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t threads = 0);
+
+/// Retry policy for parallel_for_each_isolated. A task gets `max_attempts`
+/// tries; the attempt number is passed to the task so it can degrade
+/// deterministically in the problem domain (the fluid harnesses halve dt per
+/// attempt — backoff in step size, not wall clock, so a retried cell is still
+/// reproducible from (index, attempt) alone).
+struct FaultPolicy {
+  int max_attempts = 2;  ///< total tries per task; < 1 behaves as 1
+};
+
+/// One quarantined cell: which task, how hard we tried, and why it failed.
+struct TaskFailureRecord {
+  std::size_t index = 0;  ///< grid index of the quarantined task
+  int attempts = 0;       ///< tries consumed (== policy.max_attempts)
+  std::string message;    ///< what() of the final attempt's exception
+  Diagnostic diagnostic;  ///< structured report (when the failure carried one)
+  bool has_diagnostic = false;
+};
+
+/// Outcome of an isolated sweep: timing plus the quarantine list.
+struct IsolationReport {
+  SweepTiming timing;
+  std::vector<TaskFailureRecord> failures;  ///< grid order
+  std::size_t retries = 0;          ///< extra attempts granted by the policy
+  std::size_t failed_attempts = 0;  ///< individual attempts that threw
+  bool all_ok() const { return failures.empty(); }
+};
+
+/// Fault-isolating variant of parallel_for_each: fn(i, attempt) failures are
+/// caught per task, retried up to policy.max_attempts times, and finally
+/// quarantined into the report instead of aborting the sweep — one divergent
+/// cell costs one cell, not the whole grid. Counted in par.task_failures /
+/// par.task_retries / par.quarantined. Unlike the strict variant, serial and
+/// parallel runs behave identically (nothing propagates mid-sweep).
+IsolationReport parallel_for_each_isolated(
+    std::size_t count, const std::function<void(std::size_t, int)>& fn,
+    FaultPolicy policy = {}, std::size_t threads = 0);
 
 /// Map `items` through `fn` into a same-order result vector. The result type
 /// must be default-constructible (slots are pre-sized before the sweep).

@@ -1,0 +1,108 @@
+#pragma once
+// Versioned binary snapshots for checkpoint/restore.
+//
+// Both engines (the packet simulator and the fluid DDE solver) can freeze
+// their complete integration state into a byte stream and later resume from
+// it bit-identically — the same rows, event pop sequence and metric counts an
+// uninterrupted run would have produced. That turns a killed 10k-point sweep
+// into a resumable one and enables the "fork a warmed-up fabric at t"
+// pattern: checkpoint one long warm-up, restore it into many divergent
+// scenario continuations.
+//
+// Wire format (little-endian, fixed-width):
+//
+//   header   magic u32 ("ECND"), format_version u16, kind u16,
+//            payload_size u64, payload_digest u64 (FNV-1a over the payload)
+//   payload  kind-specific field stream (see DdeSolver::save, Simulator::save)
+//
+// The header digest makes truncation and bit-rot a loud SnapshotError instead
+// of a silently-wrong continuation; the (version, kind) pair rejects
+// snapshots from a different writer generation or the wrong engine. The
+// format version bumps whenever any engine's payload layout changes — old
+// snapshots are rejected, never reinterpreted: a checkpoint is a cache of
+// recomputable state, so "refuse and re-run" is always safe while "guess and
+// continue" never is.
+//
+// Doubles are serialized as their IEEE-754 bit patterns (std::bit_cast to
+// u64), so a restored state is the *identical* double, not a round-tripped
+// decimal approximation.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecnd {
+
+/// Thrown on any snapshot mismatch: bad magic/version/kind, truncated or
+/// corrupted payload, or restore-time state validation failure.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error("snapshot: " + what) {}
+};
+
+/// Snapshot format generation. Bump when any payload layout changes.
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+
+/// Engine kinds (the header rejects cross-engine restores).
+enum class SnapshotKind : std::uint16_t {
+  kDdeSolver = 1,
+  kSimulator = 2,
+};
+
+/// Accumulates a payload in memory, then emits header + payload in one go so
+/// the digest and size are always consistent with the bytes that follow.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(SnapshotKind kind) : kind_(kind) {}
+
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void f64_span(std::span<const double> v);  ///< count-prefixed
+
+  /// Write header + payload. The writer may not be reused afterwards.
+  void finish(std::ostream& out);
+
+ private:
+  SnapshotKind kind_;
+  std::string payload_;
+};
+
+/// Reads and validates a snapshot header, then hands out payload fields.
+/// Every accessor throws SnapshotError on over-read; call finish() after the
+/// last field to reject trailing garbage (a likely layout mismatch).
+class SnapshotReader {
+ public:
+  /// Reads the full snapshot from `in`, validating magic, version, `kind`
+  /// and the payload digest up front.
+  SnapshotReader(std::istream& in, SnapshotKind kind);
+
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::vector<double> f64_vec();
+
+  /// Throws unless the payload was consumed exactly.
+  void finish() const;
+
+ private:
+  std::span<const unsigned char> take(std::size_t n);
+
+  std::string payload_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit over arbitrary bytes — the same digest the run manifests
+/// use for their metrics fingerprint and the sweep journal for cell keys.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace ecnd

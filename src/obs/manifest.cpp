@@ -124,11 +124,40 @@ RunManifest& RunManifest::observable(std::string_view name, bool v) {
   return *this;
 }
 
+RunManifest& RunManifest::failure(std::string_view cell,
+                                  std::string_view component,
+                                  std::string_view variable, double sim_time,
+                                  double value, std::string_view detail,
+                                  int attempts) {
+  std::string obj = "{\"cell\": " + render_string(cell);
+  obj += ", \"component\": " + render_string(component);
+  obj += ", \"variable\": " + render_string(variable);
+  obj += ", \"sim_time\": " + render_double(sim_time);
+  obj += ", \"value\": " + render_double(value);
+  obj += ", \"attempts\": " + render_int(attempts);
+  obj += ", \"detail\": " + render_string(detail);
+  obj += "}";
+  failures_.push_back(std::move(obj));
+  return *this;
+}
+
 void RunManifest::write(std::ostream& out) const {
   out << "{\n  \"schema\": \"" << kManifestSchema << "\",\n";
   out << "  \"tool\": " << render_string(tool_) << ",\n";
   write_section(out, "params", params_, /*trailing_comma=*/true);
   write_section(out, "observables", observables_, /*trailing_comma=*/true);
+
+  if (!failures_.empty()) {
+    // Quarantined sweep cells, in grid order — present only on faulted runs
+    // so healthy manifests stay byte-identical across builds.
+    out << "  \"failures\": [";
+    const char* sep = "";
+    for (const std::string& f : failures_) {
+      out << sep << "\n    " << f;
+      sep = ",";
+    }
+    out << "\n  ],\n";
+  }
 
   char digest[32];
   std::snprintf(digest, sizeof(digest), "fnv1a:%016llx",

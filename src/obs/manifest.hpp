@@ -36,6 +36,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #if !defined(ECND_OBS_DISABLED)
 #include <map>
@@ -74,6 +75,15 @@ class RunManifest {
   RunManifest& observable(std::string_view name, std::uint64_t v);
   RunManifest& observable(std::string_view name, bool v);
 
+  /// Record one quarantined sweep cell. Takes plain fields rather than a
+  /// core Diagnostic (ecnd_obs sits below ecnd_core in the link order); the
+  /// bench harnesses copy the fields over from the IsolationReport. The
+  /// "failures" section is emitted only when at least one failure was
+  /// recorded, so healthy manifests are byte-identical to older ones.
+  RunManifest& failure(std::string_view cell, std::string_view component,
+                       std::string_view variable, double sim_time,
+                       double value, std::string_view detail, int attempts);
+
   /// Render the manifest JSON (sorted keys; trailing newline). Computes the
   /// metrics-registry digest at call time, so call it after the runs.
   void write(std::ostream& out) const;
@@ -90,6 +100,7 @@ class RunManifest {
   std::string tool_;
   std::map<std::string, std::string> params_;       // name -> rendered JSON
   std::map<std::string, std::string> observables_;  // name -> rendered JSON
+  std::vector<std::string> failures_;               // rendered JSON objects
 };
 
 #else  // ECND_OBS_DISABLED: the writer compiles out; call sites stay as-is.
@@ -102,6 +113,10 @@ class RunManifest {
   RunManifest& param(std::string_view, T) { return *this; }
   template <typename T>
   RunManifest& observable(std::string_view, T) { return *this; }
+  RunManifest& failure(std::string_view, std::string_view, std::string_view,
+                       double, double, std::string_view, int) {
+    return *this;
+  }
 
   void write(std::ostream&) const {}
   std::string to_json() const { return {}; }

@@ -67,6 +67,19 @@ class Parser {
     return true;
   }
 
+  // A recursive-descent parser's stack is bounded by input nesting; cap it
+  // so a pathological (or corrupted) input fails with a diagnostic instead
+  // of a stack overflow.
+  static constexpr std::size_t kMaxDepth = 256;
+
+  struct DepthGuard {
+    Parser& p;
+    explicit DepthGuard(Parser& parser) : p(parser) {
+      if (++p.depth_ > kMaxDepth) p.fail("nesting deeper than 256 levels");
+    }
+    ~DepthGuard() { --p.depth_; }
+  };
+
   Json parse_value() {
     switch (peek()) {
       case '{': return parse_object();
@@ -86,6 +99,7 @@ class Parser {
   }
 
   Json parse_object() {
+    const DepthGuard depth(*this);
     expect('{');
     Json::Object obj;
     skip_ws();
@@ -100,7 +114,13 @@ class Parser {
       skip_ws();
       expect(':');
       skip_ws();
-      obj.insert_or_assign(std::move(key), parse_value());
+      // Our writers never emit duplicate keys, so one in the input means a
+      // corrupted or hand-mangled file; silently keeping either value would
+      // gate regressions against data the writer never produced.
+      if (obj.find(key) != obj.end()) {
+        fail("duplicate object key \"" + key + "\"");
+      }
+      obj.emplace(std::move(key), parse_value());
       skip_ws();
       const char c = take();
       if (c == ',') continue;
@@ -111,6 +131,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard depth(*this);
     expect('[');
     Json::Array arr;
     skip_ws();
@@ -206,6 +227,7 @@ class Parser {
 
   std::string_view s_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

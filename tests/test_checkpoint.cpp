@@ -1,0 +1,316 @@
+// Checkpoint/restore fidelity: a run saved mid-flight and resumed in a fresh
+// engine must be bit-identical to one that never stopped — same observer
+// rows, same event pop sequence, same metric counts. Both engines are
+// covered (fluid DdeSolver and packet Simulator), plus the refusal paths
+// (corruption, wrong kind, stale layout, non-fresh targets).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/diagnostic.hpp"
+#include "core/snapshot.hpp"
+#include "fluid/dcqcn_model.hpp"
+#include "fluid/dde_solver.hpp"
+#include "obs/metrics.hpp"
+#include "robust/invariant_guard.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecnd {
+namespace {
+
+// -- Fluid side --------------------------------------------------------------
+
+/// dx/dt = -k x(t - tau): delayed negative feedback, oscillatory for
+/// k * tau near pi/2 — plenty of history traffic for the snapshot to carry.
+class DelayedFeedback final : public fluid::DdeSystem {
+ public:
+  DelayedFeedback(double k, double tau) : k_(k), tau_(tau) {}
+  std::size_t dim() const override { return 1; }
+  void rhs(double t, std::span<const double>, const fluid::History& past,
+           std::span<double> dxdt) const override {
+    dxdt[0] = -k_ * past.value(0, t - tau_);
+  }
+  double max_delay() const override { return tau_; }
+
+ private:
+  double k_, tau_;
+};
+
+struct Row {
+  double t;
+  std::vector<double> x;
+  bool operator==(const Row&) const = default;
+};
+
+std::vector<Row> observe_rows(fluid::DdeSolver& solver, double t_end,
+                              double interval) {
+  std::vector<Row> rows;
+  solver.run_until(
+      t_end,
+      [&](double t, std::span<const double> x) {
+        rows.push_back({t, {x.begin(), x.end()}});
+      },
+      interval);
+  return rows;
+}
+
+TEST(FluidCheckpoint, RestoredSolverContinuesBitIdentically) {
+  const DelayedFeedback sys(140.0, 0.01);
+  const double dt = 1e-4, mid = 0.25, end = 0.5, interval = 1e-3;
+
+  // Reference run. It must split run_until at `mid` exactly like the
+  // checkpointed run does, so the observer's sampling anchors match and the
+  // comparison isolates snapshot fidelity.
+  fluid::DdeSolver ref(sys, {1.0}, 0.0, dt);
+  std::vector<Row> ref_rows = observe_rows(ref, mid, interval);
+  const std::vector<Row> ref_tail = observe_rows(ref, end, interval);
+
+  // Checkpointed run: integrate to mid, freeze, thaw into a fresh solver.
+  fluid::DdeSolver first(sys, {1.0}, 0.0, dt);
+  std::vector<Row> got_rows = observe_rows(first, mid, interval);
+  std::stringstream snap;
+  first.save(snap);
+
+  fluid::DdeSolver resumed(sys, {0.0}, 0.0, dt);  // junk init, overwritten
+  resumed.restore(snap);
+  EXPECT_EQ(resumed.time(), first.time());
+  ASSERT_EQ(resumed.state().size(), first.state().size());
+  EXPECT_EQ(resumed.state()[0], first.state()[0]);  // bit-exact, not NEAR
+
+  const std::vector<Row> got_tail = observe_rows(resumed, end, interval);
+  ASSERT_EQ(got_tail.size(), ref_tail.size());
+  for (std::size_t i = 0; i < ref_tail.size(); ++i) {
+    EXPECT_EQ(got_tail[i].t, ref_tail[i].t) << "row " << i;
+    EXPECT_EQ(got_tail[i].x, ref_tail[i].x) << "row " << i;
+  }
+  EXPECT_EQ(resumed.state()[0], ref.state()[0]);
+  EXPECT_EQ(resumed.steps_retried(), ref.steps_retried());
+}
+
+TEST(FluidCheckpoint, GuardedDcqcnModelRoundTrips) {
+  fluid::DcqcnFluidParams params;
+  params.num_flows = 2;
+  const fluid::DcqcnFluidModel model(params);
+  const double dt = model.suggested_dt();
+  const double mid = 0.01, end = 0.02;
+
+  fluid::DdeSolver ref(model, model.initial_state(), 0.0, dt);
+  robust::guard_solver(ref, model);
+  observe_rows(ref, mid, 0.0);
+  observe_rows(ref, end, 0.0);
+
+  fluid::DdeSolver first(model, model.initial_state(), 0.0, dt);
+  robust::guard_solver(first, model);
+  observe_rows(first, mid, 0.0);
+  std::stringstream snap;
+  first.save(snap);
+
+  fluid::DdeSolver resumed(model, model.initial_state(), 0.0, dt);
+  resumed.restore(snap);
+  // The guard is a closure and deliberately not serialized: reinstall it.
+  robust::guard_solver(resumed, model);
+  observe_rows(resumed, end, 0.0);
+
+  ASSERT_EQ(resumed.state().size(), ref.state().size());
+  for (std::size_t i = 0; i < ref.state().size(); ++i) {
+    EXPECT_EQ(resumed.state()[i], ref.state()[i]) << "state var " << i;
+  }
+  EXPECT_EQ(resumed.steps_retried(), ref.steps_retried());
+}
+
+TEST(FluidCheckpoint, RestoreRejectsDimensionMismatch) {
+  const DelayedFeedback one_dim(10.0, 0.01);
+  fluid::DdeSolver src(one_dim, {1.0}, 0.0, 1e-4);
+  observe_rows(src, 0.01, 0.0);
+  std::stringstream snap;
+  src.save(snap);
+
+  fluid::DcqcnFluidParams params;
+  params.num_flows = 2;
+  const fluid::DcqcnFluidModel model(params);
+  fluid::DdeSolver dst(model, model.initial_state(), 0.0, 1e-6);
+  EXPECT_THROW(dst.restore(snap), SnapshotError);
+}
+
+TEST(FluidCheckpoint, CorruptedPayloadIsRejected) {
+  const DelayedFeedback sys(10.0, 0.01);
+  fluid::DdeSolver src(sys, {1.0}, 0.0, 1e-4);
+  observe_rows(src, 0.02, 0.0);
+  std::stringstream snap;
+  src.save(snap);
+
+  std::string bytes = snap.str();
+  bytes[bytes.size() - 3] ^= 0x40;  // flip a payload bit
+  std::stringstream corrupted(bytes);
+  fluid::DdeSolver dst(sys, {1.0}, 0.0, 1e-4);
+  EXPECT_THROW(dst.restore(corrupted), SnapshotError);
+}
+
+TEST(FluidCheckpoint, TruncatedStreamIsRejected) {
+  const DelayedFeedback sys(10.0, 0.01);
+  fluid::DdeSolver src(sys, {1.0}, 0.0, 1e-4);
+  observe_rows(src, 0.02, 0.0);
+  std::stringstream snap;
+  src.save(snap);
+
+  const std::string bytes = snap.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  fluid::DdeSolver dst(sys, {1.0}, 0.0, 1e-4);
+  EXPECT_THROW(dst.restore(truncated), SnapshotError);
+
+  std::stringstream beheaded(bytes.substr(0, 10));
+  EXPECT_THROW(dst.restore(beheaded), SnapshotError);
+}
+
+// -- Packet side -------------------------------------------------------------
+
+using EventLog = std::vector<std::tuple<PicoTime, std::uint64_t, std::uint64_t>>;
+
+/// Self-rearming tagged workload: four "flows" ping at staggered,
+/// flow-dependent gaps so pops interleave nontrivially across the midpoint.
+void arm_toy_workload(sim::Simulator& sim, EventLog& log) {
+  sim.register_handler(0, [&sim, &log](std::uint64_t flow,
+                                       std::uint64_t remaining) {
+    log.emplace_back(sim.now(), flow, remaining);
+    if (remaining > 0) {
+      const PicoTime gap = 100'000 + static_cast<PicoTime>(flow) * 7919 +
+                           static_cast<PicoTime>(remaining) * 131;
+      sim.schedule_tagged_in(gap, 0, flow, remaining - 1);
+    }
+  });
+}
+
+TEST(SimCheckpoint, RestoredSimulatorContinuesBitIdentically) {
+  const PicoTime mid = 450'000, end = 2'000'000;
+
+  // Reference: same run_until split, never interrupted.
+  sim::Simulator ref;
+  EventLog ref_log;
+  arm_toy_workload(ref, ref_log);
+  for (std::uint64_t flow = 0; flow < 4; ++flow) {
+    ref.schedule_tagged_at(static_cast<PicoTime>(flow) * 1000, 0, flow, 5);
+  }
+  ref.run_until(mid);
+  ref.run_until(end);
+
+  sim::Simulator first;
+  EventLog got_log;
+  arm_toy_workload(first, got_log);
+  for (std::uint64_t flow = 0; flow < 4; ++flow) {
+    first.schedule_tagged_at(static_cast<PicoTime>(flow) * 1000, 0, flow, 5);
+  }
+  first.run_until(mid);
+  ASSERT_TRUE(first.checkpointable());
+  std::stringstream snap;
+  first.save(snap);
+
+  sim::Simulator resumed;
+  resumed.restore(snap);
+  arm_toy_workload(resumed, got_log);  // handlers re-registered after restore
+  EXPECT_EQ(resumed.now(), first.now());
+  EXPECT_EQ(resumed.events_pending(), first.events_pending());
+  EXPECT_EQ(resumed.events_processed(), first.events_processed());
+  resumed.run_until(end);
+
+  EXPECT_EQ(got_log, ref_log);
+  EXPECT_EQ(resumed.events_processed(), ref.events_processed());
+  EXPECT_EQ(resumed.now(), ref.now());
+  EXPECT_EQ(resumed.late_schedules(), ref.late_schedules());
+}
+
+TEST(SimCheckpoint, PoolReuseMetricContinuesIdentically) {
+  // The snapshot carries the event-pool arena size, so the restored run
+  // serves the same acquisitions from the free list as the original —
+  // sim.event_pool_reuse must match an uninterrupted run exactly.
+  obs::reset();
+  obs::set_metrics_enabled(true);
+
+  const PicoTime mid = 450'000, end = 2'000'000;
+  auto run_and_dump = [&](bool interrupted) {
+    obs::reset();
+    std::string dump;
+    {
+      sim::Simulator first;
+      EventLog log;
+      arm_toy_workload(first, log);
+      for (std::uint64_t flow = 0; flow < 4; ++flow) {
+        first.schedule_tagged_at(static_cast<PicoTime>(flow) * 1000, 0, flow,
+                                 5);
+      }
+      first.run_until(mid);
+      if (interrupted) {
+        std::stringstream snap;
+        first.save(snap);
+        sim::Simulator resumed;
+        resumed.restore(snap);
+        EventLog tail;
+        arm_toy_workload(resumed, tail);
+        resumed.run_until(end);
+      } else {
+        first.run_until(end);
+      }
+      std::ostringstream out;
+      obs::dump_metrics_json(out);
+      dump = out.str();
+    }
+    return dump;
+  };
+
+  const std::string uninterrupted = run_and_dump(false);
+  const std::string resumed = run_and_dump(true);
+  obs::set_metrics_enabled(false);
+  EXPECT_EQ(resumed, uninterrupted);
+}
+
+TEST(SimCheckpoint, SaveRefusesPendingClosureEvents) {
+  sim::Simulator sim;
+  sim.schedule_in(1000, [] {});
+  EXPECT_FALSE(sim.checkpointable());
+  std::stringstream snap;
+  EXPECT_THROW(sim.save(snap), SnapshotError);
+}
+
+TEST(SimCheckpoint, RestoreRequiresFreshSimulator) {
+  sim::Simulator src;
+  src.schedule_tagged_at(1000, 0, 1, 2);
+  std::stringstream snap;
+  src.save(snap);
+
+  sim::Simulator used;
+  used.register_handler(0, [](std::uint64_t, std::uint64_t) {});
+  used.schedule_tagged_at(500, 0, 0, 0);
+  used.run_all();
+  EXPECT_THROW(used.restore(snap), SnapshotError);
+}
+
+TEST(SimCheckpoint, RestoreRejectsWrongKind) {
+  const DelayedFeedback sys(10.0, 0.01);
+  fluid::DdeSolver solver(sys, {1.0}, 0.0, 1e-4);
+  std::stringstream snap;
+  solver.save(snap);
+
+  sim::Simulator sim;
+  EXPECT_THROW(sim.restore(snap), SnapshotError);
+}
+
+TEST(SimCheckpoint, UnregisteredTagThrowsInvariantViolation) {
+  sim::Simulator sim;
+  sim.schedule_tagged_at(1000, 7, 0, 0);
+  try {
+    sim.run_all();
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& e) {
+    EXPECT_EQ(e.diagnostic().component, "Simulator");
+    EXPECT_NE(std::string(e.what()).find("register_handler"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ecnd

@@ -133,6 +133,100 @@ TEST(ParallelMap, PreservesItemOrder) {
   EXPECT_EQ(timing.tasks, 100u);
 }
 
+TEST(ParallelForEach, StrictModeReportsSuppressedFailureCount) {
+  // Every task fails; the rethrown message must say how many beyond the
+  // first were suppressed (deterministically 7, since workers drain the
+  // whole index space before the rethrow).
+  try {
+    par::parallel_for_each(
+        8, [](std::size_t) { throw std::runtime_error("boom"); }, 4);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("7 additional task failure"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParallelForEach, StrictModeAnnotatesTaskIndex) {
+  // Serial path, one failing task: the InvariantViolation that escapes must
+  // carry the grid index of the task it came from.
+  try {
+    par::parallel_for_each(
+        4,
+        [](std::size_t i) {
+          if (i == 2) {
+            throw InvariantViolation(
+                Diagnostic::make("Toy", "x", 0.5, -1.0, "went negative"));
+          }
+        },
+        1);
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& e) {
+    EXPECT_EQ(e.diagnostic().task_index, 2);
+    EXPECT_NE(std::string(e.what()).find("(task 2)"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParallelForEachIsolated, CompletesHealthyCellsAroundFailures) {
+  // Cells 3 and 7 always fail; the other 14 must complete and the failures
+  // must surface as structured records, not an aborted sweep.
+  std::vector<std::atomic<int>> done(16);
+  const par::IsolationReport report = par::parallel_for_each_isolated(
+      16,
+      [&](std::size_t i, int) {
+        if (i == 3 || i == 7) {
+          throw InvariantViolation(Diagnostic::make(
+              "Toy", "q", 0.25, -5.0, "queue went negative"));
+        }
+        done[i].fetch_add(1);
+      },
+      par::FaultPolicy{2}, 4);
+
+  EXPECT_FALSE(report.all_ok());
+  ASSERT_EQ(report.failures.size(), 2u);
+  EXPECT_EQ(report.failures[0].index, 3u);  // grid order
+  EXPECT_EQ(report.failures[1].index, 7u);
+  EXPECT_EQ(report.failures[0].attempts, 2);
+  ASSERT_TRUE(report.failures[0].has_diagnostic);
+  EXPECT_EQ(report.failures[0].diagnostic.component, "Toy");
+  EXPECT_EQ(report.failures[0].diagnostic.task_index, 3);
+  EXPECT_EQ(report.retries, 2u);          // one retry per failing cell
+  EXPECT_EQ(report.failed_attempts, 4u);  // two attempts per failing cell
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(done[i].load(), i == 3 || i == 7 ? 0 : 1) << i;
+  }
+}
+
+TEST(ParallelForEachIsolated, RetrySucceedsAndClearsTheFailure) {
+  std::atomic<int> attempts_seen{0};
+  const par::IsolationReport report = par::parallel_for_each_isolated(
+      4,
+      [&](std::size_t i, int attempt) {
+        if (i == 1 && attempt == 0) {
+          attempts_seen.fetch_add(1);
+          throw std::runtime_error("transient");
+        }
+      },
+      par::FaultPolicy{2}, 2);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.retries, 1u);
+  EXPECT_EQ(report.failed_attempts, 1u);
+  EXPECT_EQ(attempts_seen.load(), 1);
+}
+
+TEST(ParallelForEachIsolated, NonStdExceptionsAreQuarantinedToo) {
+  const par::IsolationReport report = par::parallel_for_each_isolated(
+      2, [](std::size_t i, int) {
+        if (i == 0) throw 42;  // NOLINT: deliberately not a std::exception
+      },
+      par::FaultPolicy{1}, 1);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].message, "unknown exception");
+  EXPECT_FALSE(report.failures[0].has_diagnostic);
+}
+
 TEST(ThreadCount, EnvOverrideWins) {
   const ScopedEnv env("ECND_THREADS", "3");
   EXPECT_EQ(par::thread_count(), 3u);

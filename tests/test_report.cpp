@@ -52,6 +52,51 @@ TEST(Json, ErrorsCarryPosition) {
   }
 }
 
+TEST(Json, RejectsDuplicateObjectKeysWithPosition) {
+  // Last-key-wins would silently gate regressions against data the writer
+  // never produced; a duplicate means corruption and must be loud.
+  try {
+    Json::parse("{\n  \"a\": 1,\n  \"a\": 2\n}");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate object key \"a\""), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+  // Same key in *different* objects is fine.
+  EXPECT_NO_THROW(Json::parse(R"({"o1": {"a": 1}, "o2": {"a": 2}})"));
+}
+
+TEST(Json, RejectsTruncatedInput) {
+  // A half-written manifest (crash mid-dump) must be a parse error, never a
+  // partial document.
+  EXPECT_THROW(Json::parse(R"({"a": 1, "b")"), std::runtime_error);
+  EXPECT_THROW(Json::parse(R"({"a": "unterminated)"), std::runtime_error);
+  EXPECT_THROW(Json::parse(R"([1, 2,)"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse("-"), std::runtime_error);
+  EXPECT_THROW(Json::parse(R"({"a": 1)"), std::runtime_error);
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+}
+
+TEST(Json, DepthCapStopsPathologicalNesting) {
+  // ~300 unclosed arrays: must fail with a diagnostic, not a stack overflow.
+  std::string deep(300, '[');
+  EXPECT_THROW(Json::parse(deep), std::runtime_error);
+  try {
+    Json::parse(deep);
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+
+  // 100 levels is legal and must still parse.
+  std::string ok(100, '[');
+  ok += "1";
+  ok.append(100, ']');
+  EXPECT_NO_THROW(Json::parse(ok));
+}
+
 // --- evaluate() --------------------------------------------------------------
 
 Json expectations() {
