@@ -39,6 +39,7 @@ struct FctRow {
   std::uint64_t count = 0;
   double queue_mean_kb = 0.0;
   std::uint64_t drops = 0;
+  std::uint64_t truncated = 0;  ///< flows still in flight at the horizon
 };
 
 }  // namespace
@@ -82,12 +83,13 @@ int main(int argc, char** argv) {
         row.count = static_cast<std::uint64_t>(result.small.count);
         row.queue_mean_kb = result.queue_bytes.mean_over(0.0, 1e9) / 1e3;
         row.drops = static_cast<std::uint64_t>(result.drops);
+        row.truncated = static_cast<std::uint64_t>(result.truncated);
         return row;
       },
       [](const FctRow& r) {
         FieldWriter w;
         w.f(r.median_us).f(r.p90_us).f(r.p99_us).u(r.count).f(r.queue_mean_kb);
-        w.u(r.drops);
+        w.u(r.drops).u(r.truncated);
         return w.str();
       },
       [](FieldParser& p) {
@@ -98,6 +100,7 @@ int main(int argc, char** argv) {
         r.count = p.u();
         r.queue_mean_kb = p.f();
         r.drops = p.u();
+        r.truncated = p.u();
         return r;
       },
       par::FaultPolicy{2});
@@ -112,7 +115,7 @@ int main(int argc, char** argv) {
       .param("loads", "0.2,0.4,0.6,0.8");
 
   Table table({"load", "protocol", "median (us)", "p90 (us)", "p99 (us)",
-               "small flows", "queue mean (KB)", "drops"});
+               "small flows", "queue mean (KB)", "drops", "truncated"});
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const FctRow& result = results[i];
     table.row()
@@ -123,7 +126,8 @@ int main(int argc, char** argv) {
         .cell(result.p99_us, 0)
         .cell(static_cast<long long>(result.count))
         .cell(result.queue_mean_kb, 1)
-        .cell(static_cast<long long>(result.drops));
+        .cell(static_cast<long long>(result.drops))
+        .cell(static_cast<long long>(result.truncated));
 
     char key[64];
     std::snprintf(key, sizeof(key), ".%s.load%02d",
@@ -131,7 +135,9 @@ int main(int argc, char** argv) {
                   static_cast<int>(grid[i].load * 10 + 0.5));
     manifest.observable("fct_median_us" + std::string(key), result.median_us)
         .observable("fct_p90_us" + std::string(key), result.p90_us)
-        .observable("queue_mean_kb" + std::string(key), result.queue_mean_kb);
+        .observable("queue_mean_kb" + std::string(key), result.queue_mean_kb)
+        .observable("fct_truncated" + std::string(key),
+                    static_cast<double>(result.truncated));
   }
   table.print(std::cout);
   bench::record_failures("fig14", cells, sweep.report, manifest);

@@ -18,6 +18,7 @@ int main() {
 
   std::vector<std::vector<CdfPoint>> cdfs;
   std::vector<const char*> names;
+  int truncated = 0;
   for (auto protocol : {exp::Protocol::kDcqcn, exp::Protocol::kTimely,
                         exp::Protocol::kPatchedTimely}) {
     auto config = exp::make_fct_config(protocol, 0.8);
@@ -26,6 +27,12 @@ int main() {
     const auto result = exp::run_fct_experiment(config);
     cdfs.push_back(empirical_cdf(result.small_fcts_us, 1024));
     names.push_back(exp::protocol_name(protocol));
+    if (result.truncated > 0) {
+      std::cout << exp::protocol_name(protocol) << ": " << result.truncated
+                << " flow(s) truncated at the horizon (excluded from the "
+                   "CDF)\n";
+      truncated += result.truncated;
+    }
   }
 
   Table table({"percentile", "DCQCN (us)", "TIMELY (us)", "Patched (us)"});
@@ -40,5 +47,6 @@ int main() {
     for (const auto& cdf : cdfs) table.cell(value_at(cdf, pct / 100.0), 0);
   }
   table.print(std::cout);
+  std::cout << "truncated flows (all protocols): " << truncated << "\n";
   return 0;
 }

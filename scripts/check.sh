@@ -30,7 +30,13 @@
 # --resume, and require (a) the journal reported reused cells and (b) the
 # resumed stdout is byte-identical to an uninterrupted run.
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke|--report|--perf|--resume-smoke]
+# --fabric-smoke runs the Clos fabric suite (bench_ext_fabric, quick: fat-tree
+# incast + all-to-all shuffle + PFC pause storm) under ECND_THREADS=1 and 4
+# and requires stdout and the run manifest byte-identical across thread
+# counts: ECMP path choice is a seeded hash, so multipath fabrics must keep
+# the same determinism promise as single-path sweeps.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke|--report|--perf|--resume-smoke|--fabric-smoke]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -51,7 +57,8 @@ mode="${1:-all}"
 
 if [[ "$mode" != "--sanitize-only" && "$mode" != "--tsan-only" \
       && "$mode" != "--obs-smoke" && "$mode" != "--report" \
-      && "$mode" != "--perf" && "$mode" != "--resume-smoke" ]]; then
+      && "$mode" != "--perf" && "$mode" != "--resume-smoke" \
+      && "$mode" != "--fabric-smoke" ]]; then
   echo "== plain build + tests (serial and threaded sweep paths) =="
   build_suite build
   run_tests build 1
@@ -266,6 +273,41 @@ if [[ "$mode" == "--resume-smoke" ]]; then
   fi
 
   echo "resume smoke: all checks passed"
+fi
+
+if [[ "$mode" == "--fabric-smoke" ]]; then
+  echo "== fabric smoke (bench_ext_fabric, quick, 1 vs 4 threads) =="
+  build_suite build
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  bench=build/bench/bench_ext_fabric
+
+  echo "-- quick fabric suite, ECND_THREADS=1"
+  ECND_QUICK=1 ECND_THREADS=1 ECND_MANIFEST="$tmp/fabric1.json" \
+    "$bench" > "$tmp/fabric1.txt" 2>/dev/null
+  echo "-- quick fabric suite, ECND_THREADS=4"
+  ECND_QUICK=1 ECND_THREADS=4 ECND_MANIFEST="$tmp/fabric4.json" \
+    "$bench" > "$tmp/fabric4.txt" 2>/dev/null
+
+  echo "-- stdout byte-identical across thread counts"
+  cmp "$tmp/fabric1.txt" "$tmp/fabric4.txt"
+  echo "-- manifest byte-identical across thread counts"
+  cmp "$tmp/fabric1.json" "$tmp/fabric4.json"
+
+  echo "-- manifest reports a lossless pause storm"
+  python3 - "$tmp" <<'EOF'
+import json, sys
+m = json.load(open(f"{sys.argv[1]}/fabric1.json"))
+obs = m["observables"]
+for variant in ("default", "tight"):
+    assert obs[f"pause_depth.{variant}"] >= 1, variant
+    assert obs[f"storm_drops.{variant}"] == 0, variant
+incast_keys = [k for k in obs if k.startswith("incast_fct_ms.")]
+assert incast_keys, "no incast observables in the manifest"
+print(f"   {len(obs)} observables; pause storm lossless in both variants")
+EOF
+
+  echo "fabric smoke: all checks passed"
 fi
 
 echo "check.sh: all requested suites passed"

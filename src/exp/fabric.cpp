@@ -1,0 +1,230 @@
+#include "exp/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/stats.hpp"
+#include "proto/factories.hpp"
+
+namespace ecnd::exp {
+namespace {
+
+sim::RateControllerFactory make_protocol_factory(
+    Protocol protocol, sim::Simulator& sim, const proto::DcqcnRpParams& dcqcn,
+    const proto::TimelyParams& timely,
+    const proto::PatchedTimelyParams& patched) {
+  switch (protocol) {
+    case Protocol::kDcqcn:
+      return proto::make_dcqcn_factory(sim, dcqcn);
+    case Protocol::kTimely:
+      return proto::make_timely_factory(timely);
+    case Protocol::kPatchedTimely:
+      return proto::make_patched_timely_factory(patched);
+  }
+  return {};
+}
+
+/// Pick `n` sender hosts spread across the fabric: offset-major interleave
+/// over edge switches (host 0 of edge 0, host 0 of edge 1, ... then host 1 of
+/// each edge), skipping the receiver — so small N already exercises many
+/// ECMP paths instead of saturating one edge.
+std::vector<sim::Host*> pick_senders(const sim::Fabric& fabric, int n,
+                                     int receiver) {
+  std::vector<sim::Host*> senders;
+  senders.reserve(static_cast<std::size_t>(n));
+  const int num_edges = static_cast<int>(fabric.edges.size());
+  for (int offset = 0; offset < fabric.hosts_per_edge; ++offset) {
+    for (int e = 0; e < num_edges; ++e) {
+      const int host = e * fabric.hosts_per_edge + offset;
+      if (host == receiver) continue;
+      senders.push_back(fabric.hosts[static_cast<std::size_t>(host)]);
+      if (static_cast<int>(senders.size()) == n) return senders;
+    }
+  }
+  assert(static_cast<int>(senders.size()) == n &&
+         "fabric has fewer than n + 1 hosts");
+  return senders;
+}
+
+std::uint64_t total_pause_frames(const sim::Fabric& fabric) {
+  std::uint64_t frames = 0;
+  for (const sim::Switch* sw : fabric.edges) frames += sw->pause_frames_sent();
+  for (const sim::Switch* sw : fabric.aggs) frames += sw->pause_frames_sent();
+  for (const sim::Switch* sw : fabric.cores) frames += sw->pause_frames_sent();
+  return frames;
+}
+
+double to_ms(PicoTime t) { return to_seconds(t) * 1e3; }
+
+}  // namespace
+
+IncastResult run_incast(const IncastConfig& config) {
+  sim::Network net(config.seed);
+  sim::FabricConfig fabric_config = config.fabric;
+  // ECN/CNP machinery only participates in DCQCN runs (same convention as
+  // run_fct_experiment).
+  fabric_config.red.enabled =
+      fabric_config.red.enabled && config.protocol == Protocol::kDcqcn;
+  sim::Fabric fabric = sim::make_fabric(net, fabric_config);
+
+  const int num_hosts = static_cast<int>(fabric.hosts.size());
+  assert(config.receiver >= 0 && config.receiver < num_hosts);
+  assert(config.senders >= 1 && config.senders < num_hosts);
+  (void)num_hosts;
+
+  const std::vector<sim::Host*> senders =
+      pick_senders(fabric, config.senders, config.receiver);
+  for (sim::Host* sender : senders) {
+    sender->set_controller_factory(make_protocol_factory(
+        config.protocol, net.sim(), config.dcqcn, config.timely,
+        config.patched));
+  }
+
+  std::vector<sim::FlowRecord> records;
+  records.reserve(senders.size());
+  sim::Host* receiver = fabric.hosts[static_cast<std::size_t>(config.receiver)];
+  receiver->on_flow_complete = [&records](const sim::FlowRecord& record) {
+    records.push_back(record);
+  };
+
+  // The synchronized burst: every sender starts its block at t=0.
+  for (sim::Host* sender : senders) {
+    sender->start_flow(receiver->id(), config.bytes_per_sender);
+  }
+
+  const PicoTime horizon = seconds(config.max_time_s);
+  while (net.sim().now() < horizon && records.size() < senders.size()) {
+    if (!net.sim().run_one()) break;
+  }
+
+  IncastResult result;
+  result.completed = static_cast<int>(records.size());
+  result.truncated = config.senders - result.completed;
+  std::vector<double> fcts_ms;
+  fcts_ms.reserve(records.size());
+  PicoTime last_end = 0;
+  for (const sim::FlowRecord& record : records) {
+    fcts_ms.push_back(to_ms(record.fct()));
+    last_end = std::max(last_end, record.end);
+  }
+  result.incast_time_ms = to_ms(last_end);
+  if (!fcts_ms.empty()) {
+    std::sort(fcts_ms.begin(), fcts_ms.end());
+    result.median_fct_ms = fcts_ms[fcts_ms.size() / 2];
+    result.max_fct_ms = fcts_ms.back();
+  }
+  sim::Port& victim = fabric.host_ingress_port(config.receiver);
+  result.victim_queue_peak_kb =
+      static_cast<double>(victim.peak_queued_bytes()) / 1e3;
+  if (last_end > 0) {
+    result.utilization = static_cast<double>(victim.tx_bytes()) * 8.0 /
+                         (victim.rate() * to_seconds(last_end));
+  }
+  result.drops = net.total_drops();
+  result.pause_frames = total_pause_frames(fabric);
+  return result;
+}
+
+ShuffleResult run_shuffle(const ShuffleConfig& config) {
+  sim::Network net(config.seed);
+  sim::FabricConfig fabric_config = config.fabric;
+  fabric_config.red.enabled =
+      fabric_config.red.enabled && config.protocol == Protocol::kDcqcn;
+  sim::Fabric fabric = sim::make_fabric(net, fabric_config);
+
+  const int num_hosts = static_cast<int>(fabric.hosts.size());
+  assert(num_hosts >= 2);
+
+  std::vector<sim::FlowRecord> records;
+  records.reserve(static_cast<std::size_t>(num_hosts) *
+                  static_cast<std::size_t>(num_hosts - 1));
+  for (sim::Host* host : fabric.hosts) {
+    host->set_controller_factory(make_protocol_factory(
+        config.protocol, net.sim(), config.dcqcn, config.timely,
+        config.patched));
+    host->on_flow_complete = [&records](const sim::FlowRecord& record) {
+      records.push_back(record);
+    };
+  }
+
+  // The shuffle phase: every ordered pair starts its block at t=0.
+  ShuffleResult result;
+  for (int src = 0; src < num_hosts; ++src) {
+    for (int dst = 0; dst < num_hosts; ++dst) {
+      if (src == dst) continue;
+      fabric.hosts[static_cast<std::size_t>(src)]->start_flow(
+          fabric.hosts[static_cast<std::size_t>(dst)]->id(),
+          config.bytes_per_pair);
+      ++result.flows;
+    }
+  }
+
+  const PicoTime horizon = seconds(config.max_time_s);
+  while (net.sim().now() < horizon &&
+         records.size() < static_cast<std::size_t>(result.flows)) {
+    if (!net.sim().run_one()) break;
+  }
+
+  result.completed = static_cast<int>(records.size());
+  result.truncated = result.flows - result.completed;
+  PicoTime last_end = 0;
+  double delivered_bits = 0.0;
+  std::vector<double> throughputs;
+  throughputs.reserve(records.size());
+  for (const sim::FlowRecord& record : records) {
+    last_end = std::max(last_end, record.end);
+    delivered_bits += static_cast<double>(record.size) * 8.0;
+    if (record.fct() > 0) {
+      throughputs.push_back(static_cast<double>(record.size) * 8.0 /
+                            to_seconds(record.fct()));
+    }
+  }
+  result.shuffle_time_ms = to_ms(last_end);
+  if (last_end > 0) {
+    result.goodput_gbps = delivered_bits / to_seconds(last_end) / 1e9;
+  }
+  result.jain = jain_fairness(throughputs).value_or(0.0);
+  result.drops = net.total_drops();
+  result.pause_frames = total_pause_frames(fabric);
+  return result;
+}
+
+PauseStormResult run_pause_storm(const PauseStormConfig& config) {
+  sim::Network net(config.seed);
+  sim::FabricConfig fabric_config = config.fabric;
+  // No marking and PFC on: senders stay at line rate (DCQCN without CNPs
+  // never cuts), so the only defense is backpressure — the worst case the
+  // paper's §3 PFC discussion worries about.
+  fabric_config.red.enabled = false;
+  fabric_config.pfc.enabled = true;
+  sim::Fabric fabric = sim::make_fabric(net, fabric_config);
+
+  const int num_hosts = static_cast<int>(fabric.hosts.size());
+  assert(config.receiver >= 0 && config.receiver < num_hosts);
+  assert(config.senders >= 1 && config.senders < num_hosts);
+  (void)num_hosts;
+
+  const std::vector<sim::Host*> senders =
+      pick_senders(fabric, config.senders, config.receiver);
+  sim::Host* receiver = fabric.hosts[static_cast<std::size_t>(config.receiver)];
+  proto::DcqcnRpParams uncontrolled;  // line rate forever: no CNPs arrive
+  for (sim::Host* sender : senders) {
+    sender->set_controller_factory(
+        proto::make_dcqcn_factory(net.sim(), uncontrolled));
+    sender->start_flow(receiver->id(), config.bytes_per_sender);
+  }
+
+  net.sim().run_until(seconds(config.duration_s));
+
+  PauseStormResult result;
+  result.reach = sim::measure_pause_reach(fabric, config.receiver);
+  result.pause_frames = total_pause_frames(fabric);
+  result.victim_queue_peak_kb =
+      static_cast<double>(
+          fabric.host_ingress_port(config.receiver).peak_queued_bytes()) /
+      1e3;
+  result.drops = net.total_drops();
+  return result;
+}
+
+}  // namespace ecnd::exp

@@ -1,0 +1,94 @@
+#pragma once
+// Fabric-scale scenario drivers (ROADMAP item 1): the experiments the paper's
+// dumbbell could not express, run on the Clos/fat-tree builders.
+//
+//   * N->1 incast: N synchronized senders spread across the fabric blast one
+//     receiver; the bottleneck is the receiver's edge-switch downlink.
+//   * All-to-all shuffle: every host sends a fixed block to every other host
+//     at t=0 (the MapReduce shuffle phase), exercising every ECMP path.
+//   * PFC pause storm: uncontrolled senders overrun one victim downlink with
+//     marking disabled, and we measure how deep the resulting pause frames
+//     propagate back through the tiers (congestion-tree spread).
+//
+// All three return flat, journal-friendly result structs.
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/scenarios.hpp"
+#include "sim/topology.hpp"
+
+namespace ecnd::exp {
+
+struct IncastConfig {
+  Protocol protocol = Protocol::kDcqcn;
+  sim::FabricConfig fabric;
+  int senders = 16;              ///< N; senders interleave across edge switches
+  Bytes bytes_per_sender = kilobytes(256.0);
+  int receiver = 0;              ///< victim host index
+  double max_time_s = 4.0;
+  std::uint64_t seed = 1;
+
+  proto::DcqcnRpParams dcqcn;
+  proto::TimelyParams timely;
+  proto::PatchedTimelyParams patched;
+};
+
+struct IncastResult {
+  int completed = 0;
+  int truncated = 0;             ///< senders whose flow missed the horizon
+  double incast_time_ms = 0.0;   ///< start of burst -> last flow completion
+  double median_fct_ms = 0.0;
+  double max_fct_ms = 0.0;
+  double victim_queue_peak_kb = 0.0;  ///< receiver downlink high-watermark
+  double utilization = 0.0;      ///< victim downlink goodput / capacity
+  std::uint64_t drops = 0;
+  std::uint64_t pause_frames = 0;  ///< pause+resume across all switches
+};
+
+IncastResult run_incast(const IncastConfig& config);
+
+struct ShuffleConfig {
+  Protocol protocol = Protocol::kDcqcn;
+  sim::FabricConfig fabric;
+  Bytes bytes_per_pair = kilobytes(64.0);
+  double max_time_s = 4.0;
+  std::uint64_t seed = 1;
+
+  proto::DcqcnRpParams dcqcn;
+  proto::TimelyParams timely;
+  proto::PatchedTimelyParams patched;
+};
+
+struct ShuffleResult {
+  int flows = 0;                 ///< hosts * (hosts - 1)
+  int completed = 0;
+  int truncated = 0;
+  double shuffle_time_ms = 0.0;  ///< t=0 -> last flow completion
+  double goodput_gbps = 0.0;     ///< aggregate delivered bits / shuffle time
+  double jain = 0.0;             ///< fairness over per-flow throughputs
+  std::uint64_t drops = 0;
+  std::uint64_t pause_frames = 0;
+};
+
+ShuffleResult run_shuffle(const ShuffleConfig& config);
+
+struct PauseStormConfig {
+  sim::FabricConfig fabric;      ///< pfc should be enabled; red is forced off
+  int senders = 8;
+  Bytes bytes_per_sender = megabytes(1.0);
+  int receiver = 0;
+  double duration_s = 0.01;
+  std::uint64_t seed = 1;
+};
+
+struct PauseStormResult {
+  sim::PauseReach reach;         ///< pause frames by ring + propagation depth
+  std::uint64_t pause_frames = 0;
+  double victim_queue_peak_kb = 0.0;
+  std::uint64_t drops = 0;       ///< must stay 0: PFC keeps the fabric lossless
+};
+
+PauseStormResult run_pause_storm(const PauseStormConfig& config);
+
+}  // namespace ecnd::exp

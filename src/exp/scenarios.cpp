@@ -205,6 +205,7 @@ FctResult run_fct_experiment(const FctConfig& config) {
                     horizon, result.queue_bytes);
 
   result.all_completed = traffic.run_to_completion(horizon);
+  result.truncated = traffic.truncated();
 
   result.small_fcts_us =
       workload::fcts_us(traffic.completed(), config.small_flow_threshold);

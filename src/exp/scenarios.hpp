@@ -112,6 +112,9 @@ struct FctResult {
   double utilization = 0.0;
   std::uint64_t drops = 0;
   bool all_completed = false;
+  /// Flows generated but still in flight at the horizon — excluded from the
+  /// FCT populations above, so harnesses must report this alongside them.
+  int truncated = 0;
   robust::FaultCounters faults;
 };
 

@@ -37,11 +37,11 @@ std::uint64_t Host::start_flow(int dst_host, Bytes size) {
   assert(size > 0);
   const std::uint64_t flow_id =
       (static_cast<std::uint64_t>(id()) << 32) | next_flow_seq_++;
-  SenderFlow flow;
+  const int already_active = active_send_flows();
+  SenderFlow& flow = send_flows_.emplace(flow_id);
   flow.dst_host = dst_host;
   flow.size = size;
-  flow.controller = factory_(active_send_flows());
-  send_flows_.emplace(flow_id, std::move(flow));
+  flow.controller = factory_(already_active);
   pump(flow_id);
   return flow_id;
 }
@@ -69,9 +69,9 @@ Packet Host::make_data_packet(std::uint64_t flow_id, SenderFlow& flow,
 }
 
 void Host::pump(std::uint64_t flow_id) {
-  const auto it = send_flows_.find(flow_id);
-  if (it == send_flows_.end()) return;
-  SenderFlow& flow = it->second;
+  SenderFlow* found = send_flows_.find(flow_id);
+  if (found == nullptr) return;
+  SenderFlow& flow = *found;
   RateController& ctl = *flow.controller;
 
   const Bytes remaining = flow.size - flow.sent;
@@ -93,7 +93,7 @@ void Host::pump(std::uint64_t flow_id) {
   if (flow.sent >= flow.size) {
     // All bytes handed to the NIC; the controller is no longer needed.
     // (Straggler CNPs/ACKs for this flow are dropped in receive().)
-    send_flows_.erase(it);
+    send_flows_.erase(flow_id);
     return;
   }
 
@@ -121,7 +121,8 @@ void Host::pump(std::uint64_t flow_id) {
 
 void Host::handle_data(const Packet& pkt) {
   data_bytes_received_ += static_cast<std::uint64_t>(pkt.size);
-  ReceiverFlow& flow = recv_flows_[pkt.flow_id];
+  ReceiverFlow* found = recv_flows_.find(pkt.flow_id);
+  ReceiverFlow& flow = found != nullptr ? *found : recv_flows_.emplace(pkt.flow_id);
   if (flow.received == 0) flow.first_sent_at = pkt.sent_at;
   flow.received += pkt.size;
 
@@ -185,22 +186,22 @@ void Host::receive(Packet pkt, int ingress_port) {
       handle_data(pkt);
       break;
     case PacketType::kCnp: {
-      const auto it = send_flows_.find(pkt.flow_id);
-      if (it != send_flows_.end()) {
-        it->second.controller->on_cnp(sim_.now());
+      SenderFlow* flow = send_flows_.find(pkt.flow_id);
+      if (flow != nullptr) {
+        flow->controller->on_cnp(sim_.now());
         kRateUpdates.add();
         obs::trace_instant("host.rate_update", to_microseconds(sim_.now()),
-                           it->second.controller->rate() / 1e9, pkt.flow_id);
+                           flow->controller->rate() / 1e9, pkt.flow_id);
       }
       break;
     }
     case PacketType::kAck: {
-      const auto it = send_flows_.find(pkt.flow_id);
-      if (it != send_flows_.end()) {
-        it->second.controller->on_rtt_sample(sim_.now() - pkt.sent_at, sim_.now());
+      SenderFlow* flow = send_flows_.find(pkt.flow_id);
+      if (flow != nullptr) {
+        flow->controller->on_rtt_sample(sim_.now() - pkt.sent_at, sim_.now());
         kRateUpdates.add();
         obs::trace_instant("host.rate_update", to_microseconds(sim_.now()),
-                           it->second.controller->rate() / 1e9, pkt.flow_id);
+                           flow->controller->rate() / 1e9, pkt.flow_id);
       }
       break;
     }
@@ -208,8 +209,8 @@ void Host::receive(Packet pkt, int ingress_port) {
 }
 
 BitsPerSecond Host::flow_rate(std::uint64_t flow_id) const {
-  const auto it = send_flows_.find(flow_id);
-  return it == send_flows_.end() ? 0.0 : it->second.controller->rate();
+  const SenderFlow* flow = send_flows_.find(flow_id);
+  return flow == nullptr ? 0.0 : flow->controller->rate();
 }
 
 }  // namespace ecnd::sim

@@ -7,8 +7,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
+#include "sim/flow_table.hpp"
 #include "sim/node.hpp"
 #include "sim/port.hpp"
 #include "sim/rate_controller.hpp"
@@ -90,8 +90,10 @@ class Host final : public Node {
   std::unique_ptr<Port> nic_;
   RateControllerFactory factory_;
   std::uint64_t next_flow_seq_ = 1;
-  std::unordered_map<std::uint64_t, SenderFlow> send_flows_;
-  std::unordered_map<std::uint64_t, ReceiverFlow> recv_flows_;
+  // Arena-backed flow state (see flow_table.hpp): flow churn reuses slots
+  // instead of mallocing per flow, and lookups stay O(1) at fabric scale.
+  FlowTable<SenderFlow> send_flows_;
+  FlowTable<ReceiverFlow> recv_flows_;
   std::uint64_t cnps_sent_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t data_bytes_received_ = 0;

@@ -5,6 +5,22 @@
 #include <unordered_map>
 
 namespace ecnd::sim {
+namespace {
+
+// Per-switch ECMP seed: SplitMix64 of (network seed, switch id), so adjacent
+// tiers hash differently and flows don't polarize onto one spine.
+std::uint64_t derive_ecmp_seed(std::uint64_t base, int switch_id) {
+  std::uint64_t x =
+      base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(switch_id) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
 
 Host& Network::add_host(const HostConfig& config) {
   const int id = static_cast<int>(hosts_.size());
@@ -19,7 +35,15 @@ Switch& Network::add_switch() {
   const int id = 1000 + static_cast<int>(switches_.size());
   switches_.push_back(std::make_unique<Switch>(
       sim_, rng_, "sw" + std::to_string(id - 1000), id));
+  switches_.back()->set_ecmp_seed(derive_ecmp_seed(ecmp_seed_, id));
   return *switches_.back();
+}
+
+void Network::set_ecmp_seed(std::uint64_t seed) {
+  ecmp_seed_ = seed;
+  for (auto& sw : switches_) {
+    sw->set_ecmp_seed(derive_ecmp_seed(seed, sw->id()));
+  }
 }
 
 void Network::link(Host& host, Switch& sw, BitsPerSecond rate,
@@ -42,32 +66,68 @@ void Network::link(Switch& a, Switch& b, BitsPerSecond rate,
 }
 
 void Network::build_routes() {
-  // For each host, BFS outward from its attached switch; every switch learns
-  // the egress port on its shortest path toward the host.
+  for (auto& sw : switches_) sw->clear_routes();
+
+  // Incoming edges per node (edges whose `to` is that node), built once; the
+  // per-host BFS expands a switch by walking the edges that point at it.
+  std::unordered_map<const Node*, std::vector<const SwitchEdge*>> in_edges;
+  for (const SwitchEdge& e : edges_) in_edges[e.to].push_back(&e);
+
+  // For each host: (1) BFS distances over the switch graph (directly attached
+  // switches are at hop 1); (2) one pass over edges_ in wiring order installs
+  // every egress whose far end is one hop closer to the host. Installing from
+  // the deterministic edges_ order — not the BFS visit order — fixes the
+  // equal-cost candidate order independent of hash-map iteration.
+  std::unordered_map<const Switch*, int> dist;
+  std::deque<const Switch*> frontier;
   for (const auto& host : hosts_) {
-    std::deque<Switch*> frontier;
-    std::unordered_map<Switch*, bool> solved;
-    // Seed: switches directly attached to the host.
-    for (const SwitchEdge& e : edges_) {
-      if (e.to == host.get()) {
-        e.from->set_route(host->id(), e.port);
-        solved[e.from] = true;
-        frontier.push_back(e.from);
-      }
+    dist.clear();
+    frontier.clear();
+    for (const SwitchEdge* e : in_edges[host.get()]) {
+      if (dist.emplace(e->from, 1).second) frontier.push_back(e->from);
     }
     while (!frontier.empty()) {
-      Switch* current = frontier.front();
+      const Switch* current = frontier.front();
       frontier.pop_front();
-      for (const SwitchEdge& e : edges_) {
-        auto* neighbor = dynamic_cast<Switch*>(e.to);
-        if (neighbor != current) continue;
-        if (solved[e.from]) continue;
-        e.from->set_route(host->id(), e.port);
-        solved[e.from] = true;
-        frontier.push_back(e.from);
+      const int next_hop = dist[current] + 1;
+      for (const SwitchEdge* e : in_edges[current]) {
+        if (dist.emplace(e->from, next_hop).second) frontier.push_back(e->from);
+      }
+    }
+    for (const SwitchEdge& e : edges_) {
+      if (e.to == host.get()) {
+        e.from->add_route(host->id(), e.port);
+        continue;
+      }
+      const auto* neighbor = dynamic_cast<const Switch*>(e.to);
+      if (neighbor == nullptr) continue;
+      const auto from_it = dist.find(e.from);
+      const auto to_it = dist.find(neighbor);
+      if (from_it == dist.end() || to_it == dist.end()) continue;
+      if (to_it->second == from_it->second - 1) {
+        e.from->add_route(host->id(), e.port);
       }
     }
   }
+}
+
+std::unordered_map<const Switch*, int> Network::switch_distances(
+    const Switch& origin) const {
+  std::unordered_map<const Switch*, int> dist;
+  dist[&origin] = 0;
+  std::deque<const Switch*> frontier{&origin};
+  while (!frontier.empty()) {
+    const Switch* current = frontier.front();
+    frontier.pop_front();
+    for (const SwitchEdge& e : edges_) {
+      if (e.from != current) continue;
+      const auto* neighbor = dynamic_cast<const Switch*>(e.to);
+      if (neighbor != nullptr && dist.emplace(neighbor, dist[current] + 1).second) {
+        frontier.push_back(neighbor);
+      }
+    }
+  }
+  return dist;
 }
 
 void Network::monitor_queue(const Port& port, PicoTime interval, PicoTime until,

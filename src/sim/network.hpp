@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -29,8 +30,23 @@ class Network {
   /// Full-duplex switch<->switch trunk.
   void link(Switch& a, Switch& b, BitsPerSecond rate, PicoTime propagation);
 
-  /// Populate every switch's routing table (BFS; call after all link()s).
+  /// Populate every switch's routing table (call after all link()s; safe to
+  /// re-call after adding links — tables are rebuilt from scratch). Per-host
+  /// BFS over the switch graph records *every* equal-cost next-hop, in link
+  /// wiring order, so multi-path fabrics (Clos/fat-tree) get deterministic
+  /// ECMP candidate sets; single-path graphs behave exactly as before.
   void build_routes();
+
+  /// Seed the per-switch ECMP hashes. Each switch derives its own seed from
+  /// (seed, switch id) so tiers don't polarize; applies to existing switches
+  /// and to any added later. Default seed 0 keeps legacy runs unchanged.
+  void set_ecmp_seed(std::uint64_t seed);
+
+  /// Hop distance from `origin` to every other switch (BFS over trunk links;
+  /// origin is 0, unreachable switches absent). Pause-storm studies use this
+  /// to bucket pause frames into rings around the victim edge.
+  std::unordered_map<const Switch*, int> switch_distances(
+      const Switch& origin) const;
 
   const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
   const std::vector<std::unique_ptr<Switch>>& switches() const { return switches_; }
@@ -52,6 +68,7 @@ class Network {
 
   Simulator sim_;
   Rng rng_;
+  std::uint64_t ecmp_seed_ = 0;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<SwitchEdge> edges_;

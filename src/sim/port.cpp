@@ -94,6 +94,25 @@ void Port::enqueue(Packet pkt) {
   const int prio = pkt.priority();
   queued_bytes_[prio] += pkt.size;
   queues_[prio].push_back(pkt);
+  peak_queued_bytes_ = std::max(peak_queued_bytes_, queued_bytes());
+  kQueueMax.set_max(static_cast<std::uint64_t>(queued_bytes()));
+  if (trace_queue_track_ != nullptr) {
+    obs::trace_counter(trace_queue_track_, to_microseconds(sim_.now()),
+                       static_cast<double>(queued_bytes()));
+  }
+  try_transmit();
+}
+
+void Port::enqueue_front(Packet pkt) {
+  assert(peer_ != nullptr);
+  assert(pkt.priority() == kControlPriority &&
+         "enqueue_front is for control frames only");
+  // No buffer-limit check: a PFC frame must never be tail-dropped — dropping
+  // the pause is exactly how a "lossless" fabric loses data.
+  kEnqueued.add();
+  queued_bytes_[kControlPriority] += pkt.size;
+  queues_[kControlPriority].push_front(pkt);
+  peak_queued_bytes_ = std::max(peak_queued_bytes_, queued_bytes());
   kQueueMax.set_max(static_cast<std::uint64_t>(queued_bytes()));
   if (trace_queue_track_ != nullptr) {
     obs::trace_counter(trace_queue_track_, to_microseconds(sim_.now()),
@@ -104,6 +123,7 @@ void Port::enqueue(Packet pkt) {
 
 void Port::pfc_pause() {
   if (!paused_) {
+    ++pfc_pause_events_;
     kPfcPauses.add();
     obs::trace_instant("pfc.pause", to_microseconds(sim_.now()),
                        static_cast<double>(queued_bytes()));

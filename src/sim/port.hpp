@@ -102,13 +102,27 @@ class Port {
   /// Queue a packet for transmission. May tail-drop if over the limit.
   void enqueue(Packet pkt);
 
+  /// Queue a control frame at the *head* of the control queue, exempt from
+  /// the buffer limit. PFC pause/resume frames go through here: a pause must
+  /// not wait behind queued ACKs/CNPs (its latency would then depend on the
+  /// very congestion it is trying to stop), and tail-dropping one would break
+  /// losslessness outright. Only the in-flight serialization still delays it.
+  void enqueue_front(Packet pkt);
+
   /// PFC: pause / resume the data priority (control is never paused).
   void pfc_pause();
   void pfc_resume();
   bool paused() const { return paused_; }
+  /// Unpaused->paused transitions over the port's lifetime ("was this NIC
+  /// ever paused" for pause-storm reach accounting).
+  std::uint64_t pfc_pause_events() const { return pfc_pause_events_; }
 
   Bytes queued_bytes() const { return queued_bytes_[0] + queued_bytes_[1]; }
   Bytes queued_bytes(int priority) const { return queued_bytes_[priority]; }
+  /// High-watermark of total queued bytes over the port's lifetime (per-port,
+  /// unlike the process-global sim.queue_bytes_max gauge, so parallel sweep
+  /// cells can each report their own victim-queue peak).
+  Bytes peak_queued_bytes() const { return peak_queued_bytes_; }
   std::uint64_t drops() const { return drops_; }
   std::uint64_t tx_packets() const { return tx_packets_; }
   std::uint64_t tx_bytes() const { return tx_bytes_; }
@@ -154,12 +168,14 @@ class Port {
   Bytes buffer_limit_ = 0;
   std::deque<Packet> queues_[kNumPriorities];
   Bytes queued_bytes_[kNumPriorities] = {0, 0};
+  Bytes peak_queued_bytes_ = 0;
   bool busy_ = false;
   bool paused_ = false;
   Bytes ser_memo_bytes_[2] = {-1, -1};
   PicoTime ser_memo_ps_[2] = {0, 0};
 
   std::uint64_t drops_ = 0;
+  std::uint64_t pfc_pause_events_ = 0;
   std::uint64_t tx_packets_ = 0;
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t marked_packets_ = 0;

@@ -1,5 +1,6 @@
 #include "sim/switch.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/metrics.hpp"
@@ -12,8 +13,23 @@ namespace {
 // transitions are counted separately as sim.pfc_pauses / sim.pfc_resumes).
 const obs::Counter kPauseFrames = obs::counter("sim.pfc_pause_frames");
 const obs::Counter kResumeFrames = obs::counter("sim.pfc_resume_frames");
+// Packets forwarded through a multi-path route set (the hash actually chose).
+const obs::Counter kEcmpDecisions = obs::counter("sim.ecmp_decisions");
 
 }  // namespace
+
+void Switch::add_route(int dst_host, int egress_port) {
+  std::vector<int>& ports = routes_[dst_host];
+  if (std::find(ports.begin(), ports.end(), egress_port) == ports.end()) {
+    ports.push_back(egress_port);
+  }
+}
+
+const std::vector<int>& Switch::route_ports(int dst_host) const {
+  static const std::vector<int> kEmpty;
+  const auto it = routes_.find(dst_host);
+  return it == routes_.end() ? kEmpty : it->second;
+}
 
 int Switch::add_port(BitsPerSecond rate, PicoTime propagation) {
   const int index = num_ports();
@@ -34,10 +50,15 @@ void Switch::send_pfc(int ingress_port, PacketType type) {
   Packet frame;
   frame.type = type;
   frame.size = kControlPacketBytes;
-  // PFC frames are hop-local: they terminate at the upstream neighbor.
-  port(ingress_port).enqueue(frame);
+  // PFC frames are hop-local: they terminate at the upstream neighbor. They
+  // jump the control queue and ignore the buffer limit (enqueue_front): a
+  // pause that waits behind queued ACKs/CNPs — or worse, tail-drops — defeats
+  // the losslessness it exists to provide. Pause latency is then bounded by
+  // propagation + at most one in-flight serialization.
+  port(ingress_port).enqueue_front(frame);
   ++pause_frames_;
   if (type == PacketType::kPause) {
+    ++pauses_only_;
     kPauseFrames.add();
     obs::trace_instant("pfc.pause_frame", to_microseconds(sim_.now()),
                        static_cast<double>(ingress_bytes_[
@@ -63,8 +84,18 @@ void Switch::receive(Packet pkt, int ingress_port) {
   }
 
   const auto route = routes_.find(pkt.dst_host);
-  assert(route != routes_.end() && "no route for destination host");
-  const int egress = route->second;
+  assert(route != routes_.end() && !route->second.empty() &&
+         "no route for destination host");
+  const std::vector<int>& candidates = route->second;
+  int egress = candidates.front();
+  if (candidates.size() > 1) {
+    // Per-flow ECMP: every packet of a flow hashes identically, so a flow
+    // sticks to one path (receivers rely on in-order flow_end delivery).
+    const std::uint64_t h =
+        ecmp_hash(ecmp_seed_, pkt.src_host, pkt.dst_host, pkt.flow_id);
+    egress = candidates[h % candidates.size()];
+    kEcmpDecisions.add();
+  }
 
   if (pkt.type == PacketType::kData) {
     pkt.ingress_port = ingress_port;

@@ -25,6 +25,26 @@ struct PfcConfig {
   Bytes resume_threshold = kilobytes(192.0);
 };
 
+/// Deterministic per-flow ECMP hash: FNV-1a over the flow identity (src host,
+/// dst host, flow id), seeded so distinct switches spread differently (no
+/// hash polarization down the tiers). Pure function of its inputs — runs are
+/// bit-identical at any ECND_THREADS, and a flow's packets all take the same
+/// path (no intra-flow reordering).
+inline std::uint64_t ecmp_hash(std::uint64_t seed, int src_host, int dst_host,
+                               std::uint64_t flow_id) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  auto mix = [&h](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xffU;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_host)), 4);
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst_host)), 4);
+  mix(flow_id, 8);
+  return h;
+}
+
 class Switch final : public Node {
  public:
   Switch(Simulator& sim, Rng& rng, std::string name, int id)
@@ -38,8 +58,22 @@ class Switch final : public Node {
   const Port& port(int index) const { return *ports_[static_cast<std::size_t>(index)]; }
   int num_ports() const { return static_cast<int>(ports_.size()); }
 
-  void set_route(int dst_host, int egress_port) { routes_[dst_host] = egress_port; }
+  /// Replace the route set for `dst_host` with the single `egress_port`.
+  void set_route(int dst_host, int egress_port) {
+    routes_[dst_host] = {egress_port};
+  }
+  /// Append an equal-cost next-hop for `dst_host` (deduplicated). The order
+  /// of add_route calls fixes the ECMP candidate order, so callers must add
+  /// routes deterministically (build_routes iterates links in wiring order).
+  void add_route(int dst_host, int egress_port);
+  void clear_routes() { routes_.clear(); }
   bool has_route(int dst_host) const { return routes_.contains(dst_host); }
+  /// Equal-cost egress set toward `dst_host` (empty when unrouted).
+  const std::vector<int>& route_ports(int dst_host) const;
+
+  /// Seed for this switch's ECMP hash (see ecmp_hash); distinct per switch.
+  void set_ecmp_seed(std::uint64_t seed) { ecmp_seed_ = seed; }
+  std::uint64_t ecmp_seed() const { return ecmp_seed_; }
 
   void set_pfc(const PfcConfig& pfc) { pfc_ = pfc; }
   /// Apply a RED profile to every current port.
@@ -50,7 +84,10 @@ class Switch final : public Node {
   Bytes ingress_buffered(int ingress_port) const {
     return ingress_bytes_[static_cast<std::size_t>(ingress_port)];
   }
+  /// PFC frames originated by this switch, pause + resume combined.
   std::uint64_t pause_frames_sent() const { return pause_frames_; }
+  /// Pause frames only (propagation-depth studies count rings of pauses).
+  std::uint64_t pauses_sent() const { return pauses_only_; }
 
  private:
   void account_dequeue(const Packet& pkt);
@@ -59,11 +96,13 @@ class Switch final : public Node {
   Simulator& sim_;
   Rng& rng_;
   std::vector<std::unique_ptr<Port>> ports_;
-  std::unordered_map<int, int> routes_;
+  std::unordered_map<int, std::vector<int>> routes_;
+  std::uint64_t ecmp_seed_ = 0;
   PfcConfig pfc_;
   std::vector<Bytes> ingress_bytes_;
   std::vector<bool> ingress_paused_;
   std::uint64_t pause_frames_ = 0;
+  std::uint64_t pauses_only_ = 0;
 };
 
 }  // namespace ecnd::sim

@@ -1,0 +1,139 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecnd::sim {
+namespace {
+
+void apply_switch_configs(Fabric& fabric, const FabricConfig& config) {
+  auto configure = [&](std::vector<Switch*>& tier) {
+    for (Switch* sw : tier) {
+      sw->set_red_all(config.red);
+      sw->set_pfc(config.pfc);
+    }
+  };
+  configure(fabric.edges);
+  configure(fabric.aggs);
+  configure(fabric.cores);
+}
+
+void attach_hosts(Fabric& fabric, Network& net, const FabricConfig& config,
+                  int per_edge) {
+  fabric.hosts_per_edge = per_edge;
+  for (std::size_t e = 0; e < fabric.edges.size(); ++e) {
+    for (int h = 0; h < per_edge; ++h) {
+      Host& host = net.add_host(config.host);
+      net.link(host, *fabric.edges[e], config.host_link_rate,
+               config.link_delay);
+      fabric.hosts.push_back(&host);
+      fabric.host_edge.push_back(static_cast<int>(e));
+      fabric.host_port.push_back(fabric.edges[e]->num_ports() - 1);
+    }
+  }
+}
+
+}  // namespace
+
+Fabric make_fat_tree(Network& net, const FabricConfig& config) {
+  const int k = config.k;
+  assert(k >= 2 && k % 2 == 0 && "fat-tree k must be even");
+  const int half = k / 2;
+  const int per_edge = config.hosts_per_edge > 0 ? config.hosts_per_edge : half;
+
+  net.set_ecmp_seed(config.ecmp_seed);
+  Fabric fabric;
+  fabric.net = &net;
+  fabric.k = k;
+
+  for (int c = 0; c < half * half; ++c) fabric.cores.push_back(&net.add_switch());
+  for (int pod = 0; pod < k; ++pod) {
+    for (int j = 0; j < half; ++j) fabric.aggs.push_back(&net.add_switch());
+    for (int j = 0; j < half; ++j) {
+      fabric.edges.push_back(&net.add_switch());
+      fabric.edge_pod.push_back(pod);
+    }
+  }
+
+  attach_hosts(fabric, net, config, per_edge);
+
+  // Intra-pod full mesh edge<->agg, then agg j of each pod to its core slice
+  // [j*half, (j+1)*half) — the canonical fat-tree striping, so every host
+  // pair in distinct pods has (k/2)^2 equal-cost 4-hop paths.
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        net.link(*fabric.edges[pod * half + e], *fabric.aggs[pod * half + a],
+                 config.fabric_link_rate, config.link_delay);
+      }
+    }
+    for (int a = 0; a < half; ++a) {
+      for (int c = a * half; c < (a + 1) * half; ++c) {
+        net.link(*fabric.aggs[pod * half + a], *fabric.cores[c],
+                 config.fabric_link_rate, config.link_delay);
+      }
+    }
+  }
+
+  net.build_routes();
+  apply_switch_configs(fabric, config);
+  return fabric;
+}
+
+Fabric make_leaf_spine(Network& net, const FabricConfig& config) {
+  assert(config.leaves >= 1 && config.spines >= 1 && config.hosts_per_leaf >= 1);
+
+  net.set_ecmp_seed(config.ecmp_seed);
+  Fabric fabric;
+  fabric.net = &net;
+
+  for (int s = 0; s < config.spines; ++s) fabric.cores.push_back(&net.add_switch());
+  for (int l = 0; l < config.leaves; ++l) {
+    fabric.edges.push_back(&net.add_switch());
+    fabric.edge_pod.push_back(0);
+  }
+
+  attach_hosts(fabric, net, config, config.hosts_per_leaf);
+
+  for (Switch* leaf : fabric.edges) {
+    for (Switch* spine : fabric.cores) {
+      net.link(*leaf, *spine, config.fabric_link_rate, config.link_delay);
+    }
+  }
+
+  net.build_routes();
+  apply_switch_configs(fabric, config);
+  return fabric;
+}
+
+Fabric make_fabric(Network& net, const FabricConfig& config) {
+  return config.kind == FabricConfig::Kind::kFatTree
+             ? make_fat_tree(net, config)
+             : make_leaf_spine(net, config);
+}
+
+PauseReach measure_pause_reach(const Fabric& fabric, int victim_host) {
+  assert(fabric.net != nullptr);
+  assert(victim_host >= 0 &&
+         victim_host < static_cast<int>(fabric.hosts.size()));
+  const Switch* victim_edge =
+      fabric.edges[static_cast<std::size_t>(
+          fabric.host_edge[static_cast<std::size_t>(victim_host)])];
+  const auto distances = fabric.net->switch_distances(*victim_edge);
+
+  PauseReach reach;
+  int max_ring = 0;
+  for (const auto& [sw, ring] : distances) max_ring = std::max(max_ring, ring);
+  reach.frames_per_ring.assign(static_cast<std::size_t>(max_ring) + 1, 0);
+  for (const auto& [sw, ring] : distances) {
+    const std::uint64_t pauses = sw->pauses_sent();
+    reach.frames_per_ring[static_cast<std::size_t>(ring)] += pauses;
+    if (pauses > 0) reach.depth = std::max(reach.depth, ring + 1);
+  }
+  for (Host* host : fabric.hosts) {
+    if (host->nic().pfc_pause_events() > 0) ++reach.hosts_paused;
+  }
+  return reach;
+}
+
+}  // namespace ecnd::sim

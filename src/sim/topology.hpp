@@ -1,0 +1,85 @@
+#pragma once
+// Multi-tier fabric builders on top of Network: a 3-tier FatTree(k) and a
+// 2-tier leaf-spine Clos, both with full equal-cost multipath via the
+// extended build_routes() + per-flow ECMP hashing in Switch.
+//
+// FatTree(k) (Al-Fares et al.): k pods, each with k/2 edge and k/2
+// aggregation switches; (k/2)^2 core switches; agg j of every pod uplinks to
+// cores [j*k/2, (j+1)*k/2). Natively k/2 hosts per edge switch ((k^3)/4
+// total); `hosts_per_edge` overrides the host count per edge for
+// oversubscribed fabrics (e.g. k=4 with 6 hosts/edge = 48 hosts at 3:1).
+//
+// Leaf-spine: `leaves` leaf switches, each with `hosts_per_leaf` hosts, every
+// leaf connected to every one of `spines` spine switches.
+//
+// All wiring is in deterministic order (cores, then pods left-to-right), so
+// route candidate sets — and therefore ECMP path choices — are reproducible
+// at any thread count.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace ecnd::sim {
+
+struct FabricConfig {
+  enum class Kind : std::uint8_t { kFatTree, kLeafSpine };
+  Kind kind = Kind::kFatTree;
+
+  // Fat-tree shape.
+  int k = 4;               ///< pod count; must be even
+  int hosts_per_edge = 0;  ///< 0 = the canonical k/2
+
+  // Leaf-spine shape.
+  int spines = 2;
+  int leaves = 4;
+  int hosts_per_leaf = 4;
+
+  BitsPerSecond host_link_rate = gbps(10.0);
+  BitsPerSecond fabric_link_rate = gbps(10.0);  ///< switch-to-switch trunks
+  PicoTime link_delay = microseconds(1.0);
+  HostConfig host;
+  RedConfig red;  ///< applied to every switch port
+  PfcConfig pfc;  ///< applied to every switch
+  std::uint64_t ecmp_seed = 0x9E3779B9u;
+};
+
+/// A built fabric. Hosts are grouped by edge switch: hosts of edge e occupy
+/// indices [e * hosts_per_edge, (e+1) * hosts_per_edge).
+struct Fabric {
+  Network* net = nullptr;
+  int k = 0;                       ///< fat-tree k (0 for leaf-spine)
+  int hosts_per_edge = 0;
+  std::vector<Switch*> edges;      ///< edge/leaf tier, wiring order
+  std::vector<Switch*> aggs;       ///< aggregation tier (empty for leaf-spine)
+  std::vector<Switch*> cores;      ///< core/spine tier
+  std::vector<int> edge_pod;       ///< pod of edges[i] (all 0 for leaf-spine)
+  std::vector<Host*> hosts;
+  std::vector<int> host_edge;      ///< index into edges for each host
+  std::vector<int> host_port;      ///< edge-switch port toward each host
+
+  Switch& edge_of(int host) { return *edges[host_edge[host]]; }
+  /// The edge switch's egress port toward `host` — the incast bottleneck.
+  Port& host_ingress_port(int host) {
+    return edges[host_edge[host]]->port(host_port[host]);
+  }
+};
+
+Fabric make_fabric(Network& net, const FabricConfig& config);
+Fabric make_fat_tree(Network& net, const FabricConfig& config);
+Fabric make_leaf_spine(Network& net, const FabricConfig& config);
+
+/// How far a PFC pause storm spread from a victim's edge switch: pause frames
+/// bucketed by ring (hop distance of the originating switch from the victim
+/// edge; ring 0 = the edge itself), the resulting propagation depth, and how
+/// many host NICs were paused at least once.
+struct PauseReach {
+  std::vector<std::uint64_t> frames_per_ring;
+  int depth = 0;  ///< 1 + outermost ring that originated a pause; 0 = none
+  int hosts_paused = 0;
+};
+
+PauseReach measure_pause_reach(const Fabric& fabric, int victim_host);
+
+}  // namespace ecnd::sim

@@ -2,24 +2,43 @@
 
 #include <cassert>
 
-namespace ecnd::workload {
+#include "obs/metrics.hpp"
 
-PoissonTraffic::PoissonTraffic(sim::Dumbbell& dumbbell,
+namespace ecnd::workload {
+namespace {
+
+// Flows still in flight when run_to_completion hit its horizon, process-wide.
+const obs::Counter kFlowsTruncated = obs::counter("workload.flows_truncated");
+
+}  // namespace
+
+PoissonTraffic::PoissonTraffic(TrafficEndpoints endpoints,
                                FlowSizeDistribution sizes, TrafficConfig config)
-    : dumbbell_(dumbbell),
+    : endpoints_(std::move(endpoints)),
       sizes_(std::move(sizes)),
       config_(config),
       rng_(config.seed) {
   assert(config_.load > 0.0);
-  assert(!dumbbell_.senders.empty() && !dumbbell_.receivers.empty());
+  assert(endpoints_.net != nullptr);
+  assert(!endpoints_.senders.empty() && !endpoints_.receivers.empty());
+  // A lone host talking to itself has no valid pair to redraw toward.
+  assert(!(endpoints_.senders.size() == 1 && endpoints_.receivers.size() == 1 &&
+           endpoints_.senders[0] == endpoints_.receivers[0]) &&
+         "degenerate traffic matrix: only self-pairs possible");
 }
+
+PoissonTraffic::PoissonTraffic(sim::Dumbbell& dumbbell,
+                               FlowSizeDistribution sizes, TrafficConfig config)
+    : PoissonTraffic(
+          TrafficEndpoints{dumbbell.net, dumbbell.senders, dumbbell.receivers},
+          std::move(sizes), config) {}
 
 double PoissonTraffic::offered_load_bps() const {
   return config_.load * config_.full_load_bps;
 }
 
 void PoissonTraffic::start() {
-  for (sim::Host* receiver : dumbbell_.receivers) {
+  for (sim::Host* receiver : endpoints_.receivers) {
     receiver->on_flow_complete = [this](const sim::FlowRecord& record) {
       completed_.push_back(record);
     };
@@ -32,7 +51,7 @@ void PoissonTraffic::schedule_next_arrival() {
   const double mean_interarrival_s =
       sizes_.mean_bytes() * 8.0 / offered_load_bps();
   const double wait_s = rng_.exponential(mean_interarrival_s);
-  dumbbell_.net->sim().schedule_in(seconds(wait_s), [this] {
+  endpoints_.net->sim().schedule_in(seconds(wait_s), [this] {
     launch_flow();
     schedule_next_arrival();
   });
@@ -40,19 +59,39 @@ void PoissonTraffic::schedule_next_arrival() {
 
 void PoissonTraffic::launch_flow() {
   sim::Host* sender =
-      dumbbell_.senders[rng_.uniform_index(dumbbell_.senders.size())];
+      endpoints_.senders[rng_.uniform_index(endpoints_.senders.size())];
   sim::Host* receiver =
-      dumbbell_.receivers[rng_.uniform_index(dumbbell_.receivers.size())];
+      endpoints_.receivers[rng_.uniform_index(endpoints_.receivers.size())];
+  // Self-pairs can only come up when the sets overlap (all-to-all shuffle);
+  // redraw until distinct. Disjoint matrices never enter these loops, so
+  // their RNG stream — and every existing result — is untouched. Normally
+  // the receiver is redrawn; when there is just one receiver, redrawing it
+  // could never terminate, so redraw the sender instead (the constructor
+  // rejects the only matrix where neither side has an alternative).
+  if (endpoints_.receivers.size() == 1) {
+    while (sender == receiver) {
+      sender = endpoints_.senders[rng_.uniform_index(endpoints_.senders.size())];
+    }
+  } else {
+    while (receiver == sender) {
+      receiver =
+          endpoints_.receivers[rng_.uniform_index(endpoints_.receivers.size())];
+    }
+  }
   sender->start_flow(receiver->id(), sizes_.sample(rng_));
   ++generated_;
 }
 
 bool PoissonTraffic::run_to_completion(PicoTime max_time) {
-  sim::Simulator& sim = dumbbell_.net->sim();
+  sim::Simulator& sim = endpoints_.net->sim();
   while (sim.now() < max_time &&
          (generated_ < config_.num_flows ||
           completed_.size() < static_cast<std::size_t>(generated_))) {
     if (!sim.run_one()) break;
+  }
+  truncated_ = generated_ - static_cast<int>(completed_.size());
+  if (truncated_ > 0) {
+    kFlowsTruncated.add(static_cast<std::uint64_t>(truncated_));
   }
   return completed_.size() == static_cast<std::size_t>(config_.num_flows);
 }

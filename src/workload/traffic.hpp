@@ -1,9 +1,12 @@
 #pragma once
-// Poisson open-loop traffic over a dumbbell (paper §5.1): flows between
-// randomly selected sender/receiver pairs, exponential interarrival times
-// whose mean realizes the requested load on the bottleneck, sizes drawn
-// from an empirical distribution. Load factor 1.0 = 8 Gb/s of offered load
-// on the bottleneck, as in Figure 14.
+// Poisson open-loop traffic (paper §5.1): flows between randomly selected
+// sender/receiver pairs, exponential interarrival times whose mean realizes
+// the requested load, sizes drawn from an empirical distribution. Load
+// factor 1.0 = `full_load_bps` offered, as in Figure 14.
+//
+// The traffic matrix is a generalized endpoint set — any (senders, receivers)
+// host lists over any topology (dumbbell, fat-tree, leaf-spine). The sets
+// may overlap (all-to-all shuffle); self-pairs are redrawn, never emitted.
 
 #include <cstdint>
 #include <vector>
@@ -20,8 +23,19 @@ struct TrafficConfig {
   std::uint64_t seed = 1;
 };
 
+/// The traffic matrix endpoints: flows go sender -> receiver, drawn uniformly
+/// from each list. Overlap is allowed; a host never sends to itself.
+struct TrafficEndpoints {
+  sim::Network* net = nullptr;
+  std::vector<sim::Host*> senders;
+  std::vector<sim::Host*> receivers;
+};
+
 class PoissonTraffic {
  public:
+  PoissonTraffic(TrafficEndpoints endpoints, FlowSizeDistribution sizes,
+                 TrafficConfig config);
+  /// Dumbbell convenience: senders on SW1, receivers on SW2 (disjoint sets).
   PoissonTraffic(sim::Dumbbell& dumbbell, FlowSizeDistribution sizes,
                  TrafficConfig config);
 
@@ -30,9 +44,14 @@ class PoissonTraffic {
 
   /// Run the simulation until all generated flows complete (or the event
   /// queue drains / `max_time` passes). Returns true if all completed.
+  /// Flows still in flight at `max_time` are counted in truncated() — FCT
+  /// statistics over completed() silently exclude them otherwise.
   bool run_to_completion(PicoTime max_time);
 
   int generated() const { return generated_; }
+  /// Flows generated but not completed when run_to_completion returned
+  /// (0 until then). Harnesses should surface this next to FCT percentiles.
+  int truncated() const { return truncated_; }
   const std::vector<sim::FlowRecord>& completed() const { return completed_; }
   double offered_load_bps() const;
 
@@ -40,11 +59,12 @@ class PoissonTraffic {
   void schedule_next_arrival();
   void launch_flow();
 
-  sim::Dumbbell& dumbbell_;
+  TrafficEndpoints endpoints_;
   FlowSizeDistribution sizes_;
   TrafficConfig config_;
   Rng rng_;
   int generated_ = 0;
+  int truncated_ = 0;
   std::vector<sim::FlowRecord> completed_;
 };
 

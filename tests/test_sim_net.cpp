@@ -145,6 +145,83 @@ TEST(Pfc, IngressAccountingDrainsToZero) {
   }
 }
 
+TEST(Pfc, PauseBypassesFullReverseBuffer) {
+  // Regression: PAUSE frames used to go through the normal enqueue path and
+  // were tail-dropped when the reverse port's buffer limit was exhausted —
+  // exactly the congested moment PFC exists for. enqueue_front() exempts
+  // hop-local control frames from the buffer limit.
+  Network net(7);
+  StarConfig config;
+  config.senders = 2;
+  config.pfc.enabled = true;
+  config.pfc.pause_threshold = kilobytes(8.0);
+  config.pfc.resume_threshold = kilobytes(4.0);
+  Star star = make_star(net, config);
+
+  // Stuff the reverse port (switch -> sender 0) with a 256 KB data backlog,
+  // then clamp its buffer below that: any tail enqueue would now be dropped.
+  Port& reverse = star.sw->port(0);
+  for (int i = 0; i < 256; ++i) {
+    Packet filler;
+    filler.type = PacketType::kData;
+    filler.src_host = star.receiver->id();
+    filler.dst_host = star.senders[0]->id();
+    filler.flow_id = 0x7F000001;
+    filler.size = 1000;
+    reverse.enqueue(filler);
+  }
+  ASSERT_GE(reverse.queued_bytes(), kilobytes(250.0));
+  reverse.set_buffer_limit(kilobytes(200.0));
+
+  for (Host* s : star.senders) s->set_controller_factory(fixed_factory(gbps(10.0)));
+  for (Host* s : star.senders) s->start_flow(star.receiver->id(), megabytes(2.0));
+  while (net.sim().run_one() && !star.senders[0]->nic().paused() &&
+         net.sim().now() < seconds(0.001)) {
+  }
+  EXPECT_TRUE(star.senders[0]->nic().paused())
+      << "PAUSE must not be tail-dropped by the reverse port's buffer limit";
+  // Strict control priority: the PAUSE overtakes the 256 KB data backlog
+  // (~205 us of serialization) instead of draining behind it.
+  EXPECT_LT(net.sim().now(), microseconds(100.0));
+  EXPECT_GE(star.senders[0]->nic().pfc_pause_events(), 1u);
+}
+
+TEST(Pfc, PauseJumpsAheadOfQueuedControlTraffic) {
+  // Regression: a PAUSE enqueued at the tail of the control queue waits
+  // behind every ACK/CNP already buffered on the reverse port, delaying the
+  // throttle by the whole control backlog. It must go to the head instead.
+  Network net(7);
+  StarConfig config;
+  config.senders = 2;
+  config.pfc.enabled = true;
+  config.pfc.pause_threshold = kilobytes(8.0);
+  config.pfc.resume_threshold = kilobytes(4.0);
+  Star star = make_star(net, config);
+
+  // 2000 stray ACKs = 128 KB (~102 us of wire time) ahead in the control
+  // queue of the reverse port.
+  Port& reverse = star.sw->port(0);
+  for (int i = 0; i < 2000; ++i) {
+    Packet ack;
+    ack.type = PacketType::kAck;
+    ack.src_host = star.receiver->id();
+    ack.dst_host = star.senders[0]->id();
+    ack.flow_id = 0x7F000002;
+    ack.size = kControlPacketBytes;
+    reverse.enqueue(ack);
+  }
+
+  for (Host* s : star.senders) s->set_controller_factory(fixed_factory(gbps(10.0)));
+  for (Host* s : star.senders) s->start_flow(star.receiver->id(), megabytes(2.0));
+  while (net.sim().run_one() && !star.senders[0]->nic().paused() &&
+         net.sim().now() < seconds(0.001)) {
+  }
+  EXPECT_TRUE(star.senders[0]->nic().paused());
+  // Ingress crosses 8 KB after ~13 us of 2-into-1 overload; head-of-queue
+  // dispatch lands the PAUSE right after, far before the ACK backlog drains.
+  EXPECT_LT(net.sim().now(), microseconds(50.0));
+}
+
 TEST(Host, CnpCoalescing) {
   // A receiver must emit at most one CNP per flow per cnp_interval no matter
   // how many marked packets arrive. Two line-rate senders keep a standing

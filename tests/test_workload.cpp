@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "exp/scenarios.hpp"
 #include "proto/factories.hpp"
@@ -123,6 +124,88 @@ TEST(PoissonTraffic, OfferedLoadScalesWithFactor) {
   sim::Dumbbell d = make_dumbbell(net, dc);
   PoissonTraffic traffic(d, FlowSizeDistribution::web_search(), c);
   EXPECT_DOUBLE_EQ(traffic.offered_load_bps(), 0.25 * gbps(8.0));
+}
+
+TEST(PoissonTraffic, OverlappingEndpointsNeverEmitSelfFlows) {
+  // Regression: with overlapping sender/receiver sets (all-to-all shuffle)
+  // the pair draw could pick sender == receiver, creating a flow from a host
+  // to itself that the NIC hairpins in zero hops and that skews FCT stats.
+  sim::Network net(13);
+  sim::StarConfig star_config;
+  star_config.senders = 4;
+  sim::Star star = make_star(net, star_config);
+  std::vector<sim::Host*> all = star.senders;
+  all.push_back(star.receiver);
+  for (sim::Host* host : all) {
+    host->set_controller_factory(
+        proto::make_dcqcn_factory(net.sim(), proto::DcqcnRpParams{}));
+  }
+  TrafficConfig config;
+  config.load = 0.3;
+  config.num_flows = 300;
+  config.seed = 13;
+  PoissonTraffic traffic(TrafficEndpoints{&net, all, all},
+                         FlowSizeDistribution::web_search(), config);
+  traffic.start();
+  EXPECT_TRUE(traffic.run_to_completion(seconds(120.0)));
+  ASSERT_EQ(traffic.completed().size(), 300u);
+  for (const auto& record : traffic.completed()) {
+    EXPECT_NE(record.src_host, record.dst_host) << "self-flow emitted";
+  }
+}
+
+TEST(PoissonTraffic, SelfPairRedrawDoesNotPerturbDisjointRng) {
+  // The redraw loop must be unreachable for disjoint sender/receiver sets:
+  // a dumbbell run draws the exact same flow sequence as before the fix.
+  auto run = [] {
+    sim::Network net(11);
+    sim::DumbbellConfig dumbbell_config;
+    dumbbell_config.pairs = 4;
+    sim::Dumbbell dumbbell = make_dumbbell(net, dumbbell_config);
+    for (sim::Host* sender : dumbbell.senders) {
+      sender->set_controller_factory(
+          proto::make_dcqcn_factory(net.sim(), proto::DcqcnRpParams{}));
+    }
+    TrafficConfig config;
+    config.load = 0.5;
+    config.num_flows = 60;
+    config.seed = 11;
+    PoissonTraffic traffic(dumbbell, FlowSizeDistribution::web_search(),
+                           config);
+    traffic.start();
+    EXPECT_TRUE(traffic.run_to_completion(seconds(60.0)));
+    std::vector<std::tuple<int, int, Bytes, PicoTime>> flows;
+    for (const auto& r : traffic.completed()) {
+      flows.emplace_back(r.src_host, r.dst_host, r.size, r.start);
+    }
+    return flows;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PoissonTraffic, TruncationSurfacesInFlightFlowsAtTheHorizon) {
+  // Regression: run_to_completion used to stop silently at max_time; flows
+  // still in flight vanished from completed() without any accounting.
+  sim::Network net(11);
+  sim::DumbbellConfig dumbbell_config;
+  dumbbell_config.pairs = 4;
+  sim::Dumbbell dumbbell = make_dumbbell(net, dumbbell_config);
+  for (sim::Host* sender : dumbbell.senders) {
+    sender->set_controller_factory(
+        proto::make_dcqcn_factory(net.sim(), proto::DcqcnRpParams{}));
+  }
+  TrafficConfig config;
+  config.load = 0.9;
+  config.num_flows = 100;
+  config.seed = 11;
+  PoissonTraffic traffic(dumbbell, FlowSizeDistribution::web_search(), config);
+  traffic.start();
+  EXPECT_EQ(traffic.truncated(), 0);  // nothing truncated before the run
+  // A horizon far too short for 100 heavy-tailed flows at load 0.9.
+  EXPECT_FALSE(traffic.run_to_completion(milliseconds(30.0)));
+  EXPECT_GT(traffic.truncated(), 0);
+  EXPECT_EQ(traffic.truncated(),
+            traffic.generated() - static_cast<int>(traffic.completed().size()));
 }
 
 TEST(FctExperiment, CompletesDropFreeAndOrdersProtocolsAtHighLoad) {
