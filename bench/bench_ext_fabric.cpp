@@ -69,6 +69,20 @@ struct StormRow {
   double victim_peak_kb = 0.0;
   std::uint64_t drops = 0;
   std::uint64_t ring_frames[kStormRings] = {0, 0, 0, 0, 0};
+  // Pause-causality forest (measure_pause_reach): shape plus root-cause and
+  // top-offender attribution. The root port is journaled as (switch id, port
+  // index) — the codec has no string fields — and the display name is
+  // rebuilt with sim::switch_port_name.
+  std::uint64_t tree_nodes = 0;
+  std::uint64_t tree_depth = 0;
+  std::uint64_t tree_roots = 0;
+  std::uint64_t tree_max_children = 0;
+  std::uint64_t root_flow = 0;
+  std::uint64_t root_switch = 0;
+  std::uint64_t root_port = 0;
+  std::uint64_t root_at_victim = 0;
+  std::uint64_t top_flow = 0;
+  std::uint64_t top_pauses = 0;
 };
 
 sim::FabricConfig incast_fabric() {
@@ -294,8 +308,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> storm_cells;
   for (const StormPoint& point : storm_grid) {
     char cell[96];
+    // v2: rows gained the pause-causality tree fields; the version tag keeps
+    // pre-tree journal entries from being replayed into the wider codec.
     std::snprintf(cell, sizeof(cell),
-                  "ext_fabric|storm|%s|pause=%lld|resume=%lld|seed=%llu",
+                  "ext_fabric|storm|v2|%s|pause=%lld|resume=%lld|seed=%llu",
                   point.label, static_cast<long long>(point.pause_threshold),
                   static_cast<long long>(point.resume_threshold),
                   static_cast<unsigned long long>(kSeed));
@@ -325,6 +341,23 @@ int main(int argc, char** argv) {
              ++ring) {
           row.ring_frames[ring] = result.reach.frames_per_ring[ring];
         }
+        const sim::PauseReach& reach = result.reach;
+        row.tree_nodes = static_cast<std::uint64_t>(reach.tree.size());
+        row.tree_depth = static_cast<std::uint64_t>(reach.tree_depth);
+        row.tree_roots = static_cast<std::uint64_t>(reach.tree_roots);
+        row.tree_max_children =
+            static_cast<std::uint64_t>(reach.tree_max_children);
+        row.root_flow = reach.root_cause_flow;
+        row.root_switch = reach.root_cause_switch >= 0
+                              ? static_cast<std::uint64_t>(
+                                    reach.root_cause_switch)
+                              : 0;
+        row.root_port = reach.root_cause_port >= 0
+                            ? static_cast<std::uint64_t>(reach.root_cause_port)
+                            : 0;
+        row.root_at_victim = reach.root_at_victim_edge ? 1 : 0;
+        row.top_flow = reach.top_offender_flow;
+        row.top_pauses = reach.top_offender_pauses;
         return row;
       },
       [](const StormRow& r) {
@@ -332,6 +365,9 @@ int main(int argc, char** argv) {
         w.u(r.depth).u(r.hosts_paused).u(r.pause_frames).f(r.victim_peak_kb);
         w.u(r.drops);
         for (std::uint64_t frames : r.ring_frames) w.u(frames);
+        w.u(r.tree_nodes).u(r.tree_depth).u(r.tree_roots);
+        w.u(r.tree_max_children).u(r.root_flow).u(r.root_switch);
+        w.u(r.root_port).u(r.root_at_victim).u(r.top_flow).u(r.top_pauses);
         return w.str();
       },
       [](FieldParser& p) {
@@ -342,6 +378,16 @@ int main(int argc, char** argv) {
         r.victim_peak_kb = p.f();
         r.drops = p.u();
         for (std::uint64_t& frames : r.ring_frames) frames = p.u();
+        r.tree_nodes = p.u();
+        r.tree_depth = p.u();
+        r.tree_roots = p.u();
+        r.tree_max_children = p.u();
+        r.root_flow = p.u();
+        r.root_switch = p.u();
+        r.root_port = p.u();
+        r.root_at_victim = p.u();
+        r.top_flow = p.u();
+        r.top_pauses = p.u();
         return r;
       },
       par::FaultPolicy{2});
@@ -373,9 +419,50 @@ int main(int argc, char** argv) {
                     static_cast<double>(row.hosts_paused))
         .observable("pause_frames" + key,
                     static_cast<double>(row.pause_frames))
-        .observable("storm_drops" + key, static_cast<double>(row.drops));
+        .observable("storm_drops" + key, static_cast<double>(row.drops))
+        .observable("pause_tree_nodes" + key,
+                    static_cast<double>(row.tree_nodes))
+        .observable("pause_tree_depth" + key,
+                    static_cast<double>(row.tree_depth))
+        .observable("pause_tree_roots" + key,
+                    static_cast<double>(row.tree_roots))
+        .observable("pause_tree_max_children" + key,
+                    static_cast<double>(row.tree_max_children))
+        .observable("storm_root_flow" + key,
+                    static_cast<double>(row.root_flow))
+        .observable("storm_root_at_victim" + key, row.root_at_victim != 0)
+        .observable("storm_top_offender_pauses" + key,
+                    static_cast<double>(row.top_pauses));
   }
   storm_table.print(std::cout);
+
+  // Root-cause attribution: the causal forest stitched from per-pause parent
+  // edges. "root port" is the congested egress whose backpressure started the
+  // storm; "root flow" / "top offender" name the flows that triggered it.
+  std::cout << "\n-- pause causality (rooted trees from per-pause parent "
+               "edges) --\n";
+  Table cause_table({"thresholds", "tree nodes", "tree depth", "roots",
+                     "max children", "root port", "root flow", "at victim",
+                     "top offender", "its pauses"});
+  for (std::size_t i = 0; i < storm_grid.size(); ++i) {
+    const StormRow& row = storm_sweep.rows[i];
+    cause_table.row()
+        .cell(storm_grid[i].label)
+        .cell(static_cast<long long>(row.tree_nodes))
+        .cell(static_cast<long long>(row.tree_depth))
+        .cell(static_cast<long long>(row.tree_roots))
+        .cell(static_cast<long long>(row.tree_max_children))
+        .cell(row.tree_nodes > 0
+                  ? sim::switch_port_name(static_cast<int>(row.root_switch),
+                                          static_cast<int>(row.root_port))
+                  : std::string("-"))
+        .cell(static_cast<long long>(row.root_flow))
+        .cell(row.tree_nodes > 0 ? (row.root_at_victim != 0 ? "yes" : "no")
+                                 : "-")
+        .cell(static_cast<long long>(row.top_flow))
+        .cell(static_cast<long long>(row.top_pauses));
+  }
+  cause_table.print(std::cout);
 
   bench::record_failures("ext_fabric.incast", incast_cells,
                          incast_sweep.report, manifest);

@@ -9,6 +9,11 @@
 // Expected shape: at higher loads TIMELY's tail FCT blows up (queue grows
 // large and variable); patched TIMELY narrows but does not close the gap;
 // DCQCN stays bounded by the RED band.
+//
+// To decompose an inflated tail into per-hop queueing, run with the flight
+// recorder armed (ECND_FLIGHT=fct ECND_FLIGHT_SAMPLE=16 ECND_QUICK=1): the
+// sampled flows' postcards and Perfetto spans localize where FCT was spent
+// without perturbing the CSV (OBSERVABILITY.md "Flight recorder").
 
 #include <cstdio>
 #include <cstdlib>

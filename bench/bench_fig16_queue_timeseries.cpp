@@ -3,6 +3,11 @@
 // Paper: TIMELY's queue grows very high and is highly variable; DCQCN's has
 // a fixed point between the RED thresholds and stays within the band even in
 // transients; patched TIMELY operates between the two.
+//
+// The queue excursions here are fleet-aggregate; to attribute one to the
+// flows riding it, arm the flight recorder (ECND_FLIGHT=q16) — each sampled
+// flow's postcards carry the backlog it joined and the marking probability
+// it saw at the bottleneck (OBSERVABILITY.md "Flight recorder").
 
 #include <cstdlib>
 #include <iostream>

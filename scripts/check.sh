@@ -36,7 +36,14 @@
 # counts: ECMP path choice is a seeded hash, so multipath fabrics must keep
 # the same determinism promise as single-path sweeps.
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke|--report|--perf|--resume-smoke|--fabric-smoke]
+# --flight-smoke exercises the flight recorder (OBSERVABILITY.md "Flight
+# recorder"): a quick sampled incast + pause storm with ECND_FLIGHT armed,
+# postcard/timeline/pause-tree exports byte-identical at ECND_THREADS=1 vs 4,
+# JSON validity (sampled postcards present, rooted pause tree with trigger
+# flows), and stdout byte-identical with the recorder armed, idle, and
+# compiled out (-DECND_OBS=OFF, which must also write no export files).
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke|--report|--perf|--resume-smoke|--fabric-smoke|--flight-smoke]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -58,7 +65,7 @@ mode="${1:-all}"
 if [[ "$mode" != "--sanitize-only" && "$mode" != "--tsan-only" \
       && "$mode" != "--obs-smoke" && "$mode" != "--report" \
       && "$mode" != "--perf" && "$mode" != "--resume-smoke" \
-      && "$mode" != "--fabric-smoke" ]]; then
+      && "$mode" != "--fabric-smoke" && "$mode" != "--flight-smoke" ]]; then
   echo "== plain build + tests (serial and threaded sweep paths) =="
   build_suite build
   run_tests build 1
@@ -156,6 +163,8 @@ if [[ "$mode" == "--report" ]]; then
       build/bench/bench_fig16_queue_timeseries > "$outdir/fig16.csv" 2>/dev/null
     ECND_THREADS="$t" ECND_MANIFEST="$mdir/fig20.json" \
       build/bench/bench_fig20_jitter > "$outdir/fig20.csv" 2>/dev/null
+    env "$q" ECND_THREADS="$t" ECND_MANIFEST="$mdir/ext_fabric.json" \
+      build/bench/bench_ext_fabric > "$outdir/ext_fabric.csv" 2>/dev/null
     ECND_THREADS="$t" ECND_MANIFEST="$mdir/fault_study.json" \
       build/examples/fault_study 4 0.05 1 > "$outdir/fault_study.csv" 2>/dev/null
   }
@@ -308,6 +317,75 @@ print(f"   {len(obs)} observables; pause storm lossless in both variants")
 EOF
 
   echo "fabric smoke: all checks passed"
+fi
+
+if [[ "$mode" == "--flight-smoke" ]]; then
+  echo "== flight recorder smoke (bench_ext_fabric, quick, sampled) =="
+  build_suite build
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  bench=build/bench/bench_ext_fabric
+
+  echo "-- baseline run (recorder idle)"
+  ECND_QUICK=1 ECND_THREADS=1 "$bench" > "$tmp/idle.txt" 2>/dev/null
+
+  # Sample modulus 4 (1 in 4 flows) so even the quick grids carry postcards.
+  echo "-- armed run, ECND_THREADS=1"
+  ECND_QUICK=1 ECND_THREADS=1 ECND_FLIGHT="$tmp/fl1" ECND_FLIGHT_SAMPLE=4 \
+    "$bench" > "$tmp/armed1.txt" 2>/dev/null
+  echo "-- armed run, ECND_THREADS=4"
+  ECND_QUICK=1 ECND_THREADS=4 ECND_FLIGHT="$tmp/fl4" ECND_FLIGHT_SAMPLE=4 \
+    "$bench" > "$tmp/armed4.txt" 2>/dev/null
+
+  echo "-- exports byte-identical across thread counts"
+  for kind in postcards timeline pausetree; do
+    cmp "$tmp/fl1.$kind.json" "$tmp/fl4.$kind.json"
+  done
+
+  echo "-- stdout untouched by the recorder (armed vs idle)"
+  cmp "$tmp/idle.txt" "$tmp/armed1.txt"
+  cmp "$tmp/idle.txt" "$tmp/armed4.txt"
+
+  echo "-- JSON validity (postcards sampled, pause tree rooted + attributed)"
+  python3 - "$tmp" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+p = json.load(open(f"{tmp}/fl1.postcards.json"))
+assert p["schema"] == "ecnd-flight-postcards-v1", p.get("schema")
+records = sum(len(t["records"]) for t in p["tasks"])
+assert records > 0, "no postcards sampled"
+hop = next(r for t in p["tasks"] if t["records"] for r in t["records"])
+assert hop["port"] and hop["t_out_ps"] >= hop["t_in_ps"], hop
+t = json.load(open(f"{tmp}/fl1.timeline.json"))
+spans = [e for e in t["traceEvents"] if e.get("ph") == "X"]
+assert spans, "no flow spans in the timeline"
+pt = json.load(open(f"{tmp}/fl1.pausetree.json"))
+assert pt["schema"] == "ecnd-flight-pausetree-v1", pt.get("schema")
+stormy = [task for task in pt["tasks"] if task["nodes"]]
+assert stormy, "no pause records in the pause tree"
+for task in stormy:
+    roots = [n for n in task["nodes"] if n["parent"] == 0]
+    assert roots and task["roots"] >= len({n["id"] for n in roots}) > 0
+    assert all(n["trigger_flow"] > 0 for n in task["nodes"]), "unattributed pause"
+    assert task["top_offender"]["flow"] > 0
+print(f"   {records} postcards, {len(spans)} spans, "
+      f"{sum(len(task['nodes']) for task in stormy)} pause nodes")
+EOF
+
+  echo "-- compiled out (-DECND_OBS=OFF): no export files, stdout identical"
+  cmake -B build-obs-off -S . -DECND_OBS=OFF > /dev/null
+  cmake --build build-obs-off -j --target bench_ext_fabric
+  ECND_QUICK=1 ECND_FLIGHT="$tmp/off" ECND_FLIGHT_SAMPLE=4 \
+    build-obs-off/bench/bench_ext_fabric > "$tmp/off.txt" 2>/dev/null
+  for kind in postcards timeline pausetree; do
+    if [[ -e "$tmp/off.$kind.json" ]]; then
+      echo "ERROR: -DECND_OBS=OFF build wrote $tmp/off.$kind.json" >&2
+      exit 1
+    fi
+  done
+  cmp "$tmp/idle.txt" "$tmp/off.txt"
+
+  echo "flight smoke: all checks passed"
 fi
 
 echo "check.sh: all requested suites passed"

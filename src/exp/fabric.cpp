@@ -217,6 +217,8 @@ PauseStormResult run_pause_storm(const PauseStormConfig& config) {
   net.sim().run_until(seconds(config.duration_s));
 
   PauseStormResult result;
+  // Stitches every switch's PauseCause records into the rooted causality
+  // forest (tree depth, fan-out, root-cause port + flow, top offender).
   result.reach = sim::measure_pause_reach(fabric, config.receiver);
   result.pause_frames = total_pause_frames(fabric);
   result.victim_queue_peak_kb =

@@ -83,7 +83,11 @@ struct PauseStormConfig {
 };
 
 struct PauseStormResult {
-  sim::PauseReach reach;         ///< pause frames by ring + propagation depth
+  /// Pause frames by ring + propagation depth, plus the stitched causality
+  /// forest (PauseReach::tree and the root-cause / top-offender attribution
+  /// fields) — PFC tagging is always on, so the tree is populated whether or
+  /// not the flight recorder is armed.
+  sim::PauseReach reach;
   std::uint64_t pause_frames = 0;
   double victim_queue_peak_kb = 0.0;
   std::uint64_t drops = 0;       ///< must stay 0: PFC keeps the fabric lossless

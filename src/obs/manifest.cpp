@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ecnd::obs {
 
@@ -157,6 +158,21 @@ void RunManifest::write(std::ostream& out) const {
       sep = ",";
     }
     out << "\n  ],\n";
+  }
+
+  if (trace_enabled()) {
+    // Trace completeness: per-task ring-overflow counts, so a truncated
+    // trace is visible right in the manifest instead of only deep in the
+    // metrics dump. Emitted only when tracing is armed — untraced manifests
+    // stay byte-identical to older ones.
+    out << "  \"trace\": {\n    \"dropped_total\": " << trace_dropped_total()
+        << ",\n    \"dropped_by_task\": {";
+    const char* sep = "";
+    for (const auto& [task, dropped] : trace_dropped_by_task()) {
+      out << sep << "\n      \"" << task << "\": " << dropped;
+      sep = ",";
+    }
+    out << (*sep == '\0' ? "}" : "\n    }") << "\n  },\n";
   }
 
   char digest[32];

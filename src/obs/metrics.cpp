@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace ecnd::obs {
@@ -217,6 +218,9 @@ void write_trace_file(const char* path) {
 void export_at_exit() {
   if (const char* path = std::getenv("ECND_METRICS")) write_metrics_file(path);
   if (const char* path = std::getenv("ECND_TRACE")) write_trace_file(path);
+  if (const char* prefix = std::getenv("ECND_FLIGHT")) {
+    write_flight_files(prefix);
+  }
   if (std::getenv("ECND_OBS_SUMMARY")) print_summary(std::cerr);
 }
 
@@ -231,11 +235,18 @@ struct EnvInit {
                          std::getenv("ECND_OBS_SUMMARY") ||
                          std::getenv("ECND_MANIFEST");
     const bool trace = std::getenv("ECND_TRACE") != nullptr;
-    if (metrics || trace) {
+    const bool flight = std::getenv("ECND_FLIGHT") != nullptr;
+    if (metrics || trace || flight) {
       detail::g_metrics_on.store(true, std::memory_order_relaxed);
       std::atexit(export_at_exit);
     }
     if (trace) detail::g_trace_on.store(true, std::memory_order_relaxed);
+    if (flight) detail::g_flight_on.store(true, std::memory_order_relaxed);
+    if (const char* env = std::getenv("ECND_FLIGHT_SAMPLE")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && parsed >= 1) set_flight_sample(parsed);
+    }
   }
 };
 const EnvInit g_env_init;
@@ -409,6 +420,7 @@ void reset() {
   merge_calling_thread();
   Registry::instance().zero_global();
   detail::trace_reset();
+  detail::flight_reset();
 }
 
 #else  // ECND_OBS_DISABLED

@@ -82,6 +82,17 @@ class Tracer {
     return total;
   }
 
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> dropped_by_task() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+    for (const auto& [task, buf] : buffers_) {
+      if (const std::uint64_t dropped = buf->dropped()) {
+        out.emplace_back(task, dropped);
+      }
+    }
+    return out;
+  }
+
   /// Snapshot pointers in task order (buffers are stable once created).
   std::vector<std::pair<std::uint32_t, const TraceBuffer*>> snapshot() {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -155,6 +166,8 @@ void trace_reset() {
   t_buffer = nullptr;
 }
 
+std::uint32_t current_task() { return t_task; }
+
 }  // namespace detail
 
 void set_trace_enabled(bool on) {
@@ -177,6 +190,10 @@ TaskScope::~TaskScope() {
 
 std::uint64_t trace_dropped_total() {
   return Tracer::instance().dropped_total();
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>> trace_dropped_by_task() {
+  return Tracer::instance().dropped_by_task();
 }
 
 void write_trace_json(std::ostream& out) {

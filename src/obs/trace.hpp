@@ -25,6 +25,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <utility>
+#include <vector>
 
 namespace ecnd::obs {
 
@@ -36,6 +38,9 @@ void trace_push(const char* name, char phase, double ts_us, double value,
                 std::uint64_t id);
 /// Drop every buffer (obs::reset's trace half).
 void trace_reset();
+/// The task index the calling thread currently records under (TaskScope TLS;
+/// 0 outside any scope). The flight recorder keys its buffers by this too.
+std::uint32_t current_task();
 }  // namespace detail
 
 inline bool trace_enabled() {
@@ -80,6 +85,11 @@ inline void trace_counter(const char* name, double ts_us, double value) {
 /// Events dropped to ring overflow, summed over all task buffers.
 std::uint64_t trace_dropped_total();
 
+/// Per-task drop counts, task index order, tasks with zero drops omitted.
+/// The run manifest embeds this so a truncated trace can't masquerade as
+/// complete to ecnd-report.
+std::vector<std::pair<std::uint32_t, std::uint64_t>> trace_dropped_by_task();
+
 /// Write every buffered event as Chrome trace-event JSON, tasks in index
 /// order, events in emission order within a task. Deterministic for a
 /// deterministic run at any thread count.
@@ -100,6 +110,10 @@ inline void trace_instant(const char*, double, double = 0.0,
                           std::uint64_t = 0) {}
 inline void trace_counter(const char*, double, double) {}
 inline std::uint64_t trace_dropped_total() { return 0; }
+inline std::vector<std::pair<std::uint32_t, std::uint64_t>>
+trace_dropped_by_task() {
+  return {};
+}
 void write_trace_json(std::ostream& out);
 
 #endif  // ECND_OBS_DISABLED

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/diagnostic.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -159,6 +160,20 @@ void Host::handle_data(const Packet& pkt) {
   }
 
   if (pkt.flow_end) {
+    if (obs::flight_enabled() &&
+        obs::flight_sampled(pkt.src_host, id(), pkt.flow_id)) {
+      // Flow span for the timeline export: same lifetime the postcards cover
+      // (first data tx to last data delivery), independent of whether a
+      // completion callback is installed.
+      obs::FlightFlow span;
+      span.flow_id = pkt.flow_id;
+      span.src_host = pkt.src_host;
+      span.dst_host = id();
+      span.size_bytes = static_cast<std::uint64_t>(flow.received);
+      span.start_ps = flow.first_sent_at;
+      span.end_ps = sim_.now();
+      obs::flight_record_flow(span);
+    }
     if (on_flow_complete) {
       FlowRecord record;
       record.id = pkt.flow_id;
@@ -177,7 +192,8 @@ void Host::receive(Packet pkt, int ingress_port) {
   (void)ingress_port;
   switch (pkt.type) {
     case PacketType::kPause:
-      nic_->pfc_pause();
+      // flow_id carries the pause-event id for control frames (send_pfc).
+      nic_->pfc_pause(pkt.flow_id);
       break;
     case PacketType::kResume:
       nic_->pfc_resume();

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/diagnostic.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/node.hpp"
@@ -80,15 +81,39 @@ void Port::enqueue(Packet pkt) {
     kTailDropped.add();
     obs::trace_instant("pkt.tail_drop", to_microseconds(sim_.now()),
                        static_cast<double>(pkt.size), pkt.flow_id);
+    if (obs::flight_enabled()) {
+      // The staged ECMP decision dies with the dropped packet.
+      flight_ecmp_candidates_ = 1;
+      flight_ecmp_choice_ = 0;
+    }
     return;
   }
   kEnqueued.add();
+  double enqueue_mark_prob = -1.0;
   if (red_.enabled && red_.position == MarkPosition::kEnqueue &&
       pkt.type == PacketType::kData) {
     // "Marking on ingress" (Figure 17): decide from the backlog the packet
     // sees on arrival; the mark then ages in the queue before departing.
-    if (rng_.bernoulli(marking_probability(queued_bytes(kDataPriority)))) {
-      pkt.ecn_marked = true;
+    const double p = marking_probability(queued_bytes(kDataPriority));
+    if (rng_.bernoulli(p)) pkt.ecn_marked = true;
+    enqueue_mark_prob = p;
+  }
+  if (obs::flight_enabled() && pkt.type == PacketType::kData) {
+    const std::uint16_t ecmp_candidates = flight_ecmp_candidates_;
+    const std::uint16_t ecmp_choice = flight_ecmp_choice_;
+    flight_ecmp_candidates_ = 1;
+    flight_ecmp_choice_ = 0;
+    if (obs::flight_sampled(pkt.src_host, pkt.dst_host, pkt.flow_id)) {
+      FlightTag tag;
+      tag.flow_id = pkt.flow_id;
+      tag.seq = pkt.seq;
+      tag.enqueue_ps = sim_.now();
+      tag.pause_snapshot_ps = paused_ps_total(sim_.now());
+      tag.queue_bytes = queued_bytes(kDataPriority);
+      tag.enqueue_mark_prob = enqueue_mark_prob;
+      tag.ecmp_candidates = ecmp_candidates;
+      tag.ecmp_choice = ecmp_choice;
+      flight_tags_.push_back(tag);
     }
   }
   const int prio = pkt.priority();
@@ -121,19 +146,23 @@ void Port::enqueue_front(Packet pkt) {
   try_transmit();
 }
 
-void Port::pfc_pause() {
+void Port::pfc_pause(std::uint64_t pause_id) {
   if (!paused_) {
     ++pfc_pause_events_;
+    paused_since_ps_ = sim_.now();
     kPfcPauses.add();
     obs::trace_instant("pfc.pause", to_microseconds(sim_.now()),
                        static_cast<double>(queued_bytes()));
   }
   paused_ = true;
+  if (pause_id != 0) paused_by_ = pause_id;
 }
 
 void Port::pfc_resume() {
   if (!paused_) return;
   paused_ = false;
+  paused_by_ = 0;
+  paused_accum_ps_ += sim_.now() - paused_since_ps_;
   kPfcResumes.add();
   obs::trace_instant("pfc.resume", to_microseconds(sim_.now()),
                      static_cast<double>(queued_bytes()));
@@ -166,19 +195,46 @@ void Port::try_transmit() {
     pkt.sent_at = sim_.now();
   }
 
+  double dequeue_mark_prob = -1.0;
   if (pkt.type == PacketType::kData) {
     if (pi_.enabled) {
       // PI-controller marking (egress): probability is the controller state.
       if (rng_.bernoulli(pi_p_)) pkt.ecn_marked = true;
+      dequeue_mark_prob = pi_p_;
     } else if (red_.enabled && red_.position == MarkPosition::kDequeue) {
       // Egress marking: the decision reflects the backlog at departure (the
       // remaining queue), so the signal is as fresh as the wire allows.
-      if (rng_.bernoulli(marking_probability(queued_bytes(kDataPriority)))) {
-        pkt.ecn_marked = true;
-      }
+      const double p = marking_probability(queued_bytes(kDataPriority));
+      if (rng_.bernoulli(p)) pkt.ecn_marked = true;
+      dequeue_mark_prob = p;
     }
   }
   if (pkt.type == PacketType::kData && on_dequeue) on_dequeue(pkt);
+
+  if (obs::flight_enabled() && pkt.type == PacketType::kData &&
+      !flight_tags_.empty() && flight_tags_.front().flow_id == pkt.flow_id &&
+      flight_tags_.front().seq == pkt.seq) {
+    // The head tag matches iff the departing packet is sampled (the data
+    // queue is FIFO and a flow is sampled in full or not at all).
+    const FlightTag tag = flight_tags_.front();
+    flight_tags_.pop_front();
+    if (flight_name_ == nullptr) flight_name_ = obs::intern(name_);
+    obs::FlightHop hop;
+    hop.flow_id = pkt.flow_id;
+    hop.seq = pkt.seq;
+    hop.port = flight_name_;
+    hop.t_in_ps = tag.enqueue_ps;
+    hop.t_out_ps = sim_.now();
+    hop.queue_bytes = tag.queue_bytes;
+    hop.pause_dwell_ps = paused_ps_total(sim_.now()) - tag.pause_snapshot_ps;
+    hop.mark_prob = tag.enqueue_mark_prob >= 0.0
+                        ? tag.enqueue_mark_prob
+                        : (dequeue_mark_prob >= 0.0 ? dequeue_mark_prob : 0.0);
+    hop.marked = pkt.ecn_marked;
+    hop.ecmp_candidates = tag.ecmp_candidates;
+    hop.ecmp_choice = tag.ecmp_choice;
+    obs::flight_record_hop(hop);
+  }
 
   ++tx_packets_;
   tx_bytes_ += static_cast<std::uint64_t>(pkt.size);

@@ -110,12 +110,32 @@ class Port {
   void enqueue_front(Packet pkt);
 
   /// PFC: pause / resume the data priority (control is never paused).
-  void pfc_pause();
+  /// `pause_id` identifies the PAUSE frame that paused us (the frame's
+  /// flow_id field; see Switch::send_pfc) — the pause-causality layer reads
+  /// it back via paused_by() when this port's backpressure triggers a
+  /// further upstream pause. 0 = unattributed (tests, legacy callers).
+  void pfc_pause(std::uint64_t pause_id = 0);
   void pfc_resume();
   bool paused() const { return paused_; }
+  /// The pause event currently blocking the data priority (0 when none).
+  std::uint64_t paused_by() const { return paused_by_; }
+  /// Cumulative sim time the data priority has spent paused, up to `now`.
+  /// Postcards difference this across a packet's queueing to get its
+  /// pause-blocked dwell.
+  PicoTime paused_ps_total(PicoTime now) const {
+    return paused_accum_ps_ + (paused_ ? now - paused_since_ps_ : 0);
+  }
   /// Unpaused->paused transitions over the port's lifetime ("was this NIC
   /// ever paused" for pause-storm reach accounting).
   std::uint64_t pfc_pause_events() const { return pfc_pause_events_; }
+
+  /// Flight recorder: stage the ECMP decision for the packet about to be
+  /// enqueued (consumed by the next enqueue; reset to the single-path
+  /// default afterwards). Only called when obs::flight_enabled().
+  void flight_stage_ecmp(std::uint16_t candidates, std::uint16_t choice) {
+    flight_ecmp_candidates_ = candidates;
+    flight_ecmp_choice_ = choice;
+  }
 
   Bytes queued_bytes() const { return queued_bytes_[0] + queued_bytes_[1]; }
   Bytes queued_bytes(int priority) const { return queued_bytes_[priority]; }
@@ -173,6 +193,31 @@ class Port {
   bool paused_ = false;
   Bytes ser_memo_bytes_[2] = {-1, -1};
   PicoTime ser_memo_ps_[2] = {0, 0};
+
+  /// Flight-recorder state for sampled in-queue data packets. The data
+  /// priority is strictly FIFO (enqueue_front is control-only), so sampled
+  /// packets leave in the order their tags were pushed: the head tag matches
+  /// the departing packet iff that packet is sampled. Touched only when
+  /// obs::flight_enabled() — the unsampled hot path pays one relaxed load.
+  struct FlightTag {
+    std::uint64_t flow_id = 0;
+    std::uint32_t seq = 0;
+    PicoTime enqueue_ps = 0;
+    PicoTime pause_snapshot_ps = 0;  ///< paused_ps_total at enqueue
+    Bytes queue_bytes = 0;           ///< data backlog the packet joined
+    double enqueue_mark_prob = -1.0; ///< probability used if marking at enqueue
+    std::uint16_t ecmp_candidates = 1;
+    std::uint16_t ecmp_choice = 0;
+  };
+  std::deque<FlightTag> flight_tags_;
+  std::uint16_t flight_ecmp_candidates_ = 1;
+  std::uint16_t flight_ecmp_choice_ = 0;
+  const char* flight_name_ = nullptr;  ///< interned name_, filled lazily
+
+  /// PFC pause bookkeeping for causality + dwell accounting.
+  std::uint64_t paused_by_ = 0;
+  PicoTime paused_since_ps_ = 0;
+  PicoTime paused_accum_ps_ = 0;
 
   std::uint64_t drops_ = 0;
   std::uint64_t pfc_pause_events_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -46,10 +47,14 @@ void Switch::set_red_all(const RedConfig& red) {
   for (auto& port : ports_) port->set_red(red);
 }
 
-void Switch::send_pfc(int ingress_port, PacketType type) {
+void Switch::send_pfc(int ingress_port, PacketType type,
+                      std::uint64_t pause_id) {
   Packet frame;
   frame.type = type;
   frame.size = kControlPacketBytes;
+  // Control frames have no flow, so the field carries the pause-event id
+  // (see PauseCause) — zero-cost causality plumbing without growing Packet.
+  frame.flow_id = pause_id;
   // PFC frames are hop-local: they terminate at the upstream neighbor. They
   // jump the control queue and ignore the buffer limit (enqueue_front): a
   // pause that waits behind queued ACKs/CNPs — or worse, tail-drops — defeats
@@ -75,7 +80,7 @@ void Switch::send_pfc(int ingress_port, PacketType type) {
 
 void Switch::receive(Packet pkt, int ingress_port) {
   if (pkt.type == PacketType::kPause) {
-    port(ingress_port).pfc_pause();
+    port(ingress_port).pfc_pause(pkt.flow_id);
     return;
   }
   if (pkt.type == PacketType::kResume) {
@@ -95,6 +100,11 @@ void Switch::receive(Packet pkt, int ingress_port) {
         ecmp_hash(ecmp_seed_, pkt.src_host, pkt.dst_host, pkt.flow_id);
     egress = candidates[h % candidates.size()];
     kEcmpDecisions.add();
+    if (obs::flight_enabled() && pkt.type == PacketType::kData) {
+      port(egress).flight_stage_ecmp(
+          static_cast<std::uint16_t>(candidates.size()),
+          static_cast<std::uint16_t>(h % candidates.size()));
+    }
   }
 
   if (pkt.type == PacketType::kData) {
@@ -104,7 +114,31 @@ void Switch::receive(Packet pkt, int ingress_port) {
     if (pfc_.enabled && !ingress_paused_[static_cast<std::size_t>(ingress_port)] &&
         buffered > pfc_.pause_threshold) {
       ingress_paused_[static_cast<std::size_t>(ingress_port)] = true;
-      send_pfc(ingress_port, PacketType::kPause);
+      PauseCause cause;
+      cause.id = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id()))
+                  << 32) |
+                 ++pause_seq_;
+      // If the trigger packet's egress is itself pause-blocked, the pause
+      // that blocks it is what backed us up — that edge roots the tree.
+      cause.parent = port(egress).paused() ? port(egress).paused_by() : 0;
+      cause.time = sim_.now();
+      cause.ingress_port = ingress_port;
+      cause.egress_port = egress;
+      cause.trigger_flow = pkt.flow_id;
+      pause_causes_.push_back(cause);
+      if (obs::flight_enabled()) {
+        obs::FlightPause rec;
+        rec.pause_id = cause.id;
+        rec.parent_id = cause.parent;
+        rec.t_ps = cause.time;
+        rec.switch_id = static_cast<std::uint32_t>(id());
+        rec.ingress_port = static_cast<std::uint16_t>(ingress_port);
+        rec.egress_port = static_cast<std::uint16_t>(egress);
+        rec.trigger_flow = pkt.flow_id;
+        rec.egress_name = obs::intern(port(egress).name());
+        obs::flight_record_pause(rec);
+      }
+      send_pfc(ingress_port, PacketType::kPause, cause.id);
     }
   }
   port(egress).enqueue(pkt);

@@ -25,6 +25,25 @@ struct PfcConfig {
   Bytes resume_threshold = kilobytes(192.0);
 };
 
+/// Why a PAUSE frame was sent: the ingress whose buffered share crossed the
+/// threshold, the packet that pushed it over (its flow and intended egress),
+/// and the upstream pause that was blocking that egress at the instant of the
+/// crossing (`parent` — 0 when the egress was flowing, i.e. this pause is a
+/// root). The id travels inside the PAUSE frame itself (Packet::flow_id is
+/// unused for control frames), so the paused port knows which event blocks it
+/// and a further upstream crossing can name it as parent: the edges stitch
+/// into the rooted propagation trees that measure_pause_reach reports.
+/// Recorded unconditionally when PFC is on — a handful of PODs per pause is
+/// sim-domain cheap and keeps causality available in ECND_OBS=OFF builds.
+struct PauseCause {
+  std::uint64_t id = 0;        ///< (switch id << 32) | per-switch sequence
+  std::uint64_t parent = 0;    ///< pause blocking the trigger's egress; 0=root
+  PicoTime time = 0;           ///< when the threshold crossing happened
+  int ingress_port = -1;       ///< port whose share crossed; PAUSE goes here
+  int egress_port = -1;        ///< where the trigger packet was heading
+  std::uint64_t trigger_flow = 0;  ///< flow of the packet that crossed it
+};
+
 /// Deterministic per-flow ECMP hash: FNV-1a over the flow identity (src host,
 /// dst host, flow id), seeded so distinct switches spread differently (no
 /// hash polarization down the tiers). Pure function of its inputs — runs are
@@ -88,10 +107,15 @@ class Switch final : public Node {
   std::uint64_t pause_frames_sent() const { return pause_frames_; }
   /// Pause frames only (propagation-depth studies count rings of pauses).
   std::uint64_t pauses_sent() const { return pauses_only_; }
+  /// Causality record per PAUSE this switch originated, in emission order
+  /// (see PauseCause); measure_pause_reach stitches these into pause trees.
+  const std::vector<PauseCause>& pause_causes() const { return pause_causes_; }
 
  private:
   void account_dequeue(const Packet& pkt);
-  void send_pfc(int ingress_port, PacketType type);
+  /// `pause_id` rides in the frame's flow_id field (kPause only; 0 for
+  /// kResume) so the receiving port can attribute its paused state.
+  void send_pfc(int ingress_port, PacketType type, std::uint64_t pause_id = 0);
 
   Simulator& sim_;
   Rng& rng_;
@@ -103,6 +127,8 @@ class Switch final : public Node {
   std::vector<bool> ingress_paused_;
   std::uint64_t pause_frames_ = 0;
   std::uint64_t pauses_only_ = 0;
+  std::uint32_t pause_seq_ = 0;  ///< per-switch PAUSE counter for PauseCause ids
+  std::vector<PauseCause> pause_causes_;
 };
 
 }  // namespace ecnd::sim

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <tuple>
+#include <unordered_map>
 
 namespace ecnd::sim {
 namespace {
@@ -132,6 +135,66 @@ PauseReach measure_pause_reach(const Fabric& fabric, int victim_host) {
   }
   for (Host* host : fabric.hosts) {
     if (host->nic().pfc_pause_events() > 0) ++reach.hosts_paused;
+  }
+
+  // Stitch every switch's PauseCause records into the propagation forest.
+  // Global causal order (time, switch id, pause id) is deterministic, and a
+  // parent pause always precedes its children in it (the egress port must
+  // already be paused at the crossing), so a single forward pass resolves
+  // depths. A parent id that no collected record carries (only possible if a
+  // switch outside the fabric paused) degrades gracefully to a root.
+  for (const auto& sw : fabric.net->switches()) {
+    for (const PauseCause& cause : sw->pause_causes()) {
+      PauseTreeNode node;
+      node.cause = cause;
+      node.switch_id = sw->id();
+      reach.tree.push_back(node);
+    }
+  }
+  std::sort(reach.tree.begin(), reach.tree.end(),
+            [](const PauseTreeNode& a, const PauseTreeNode& b) {
+              return std::tie(a.cause.time, a.switch_id, a.cause.id) <
+                     std::tie(b.cause.time, b.switch_id, b.cause.id);
+            });
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  index_of.reserve(reach.tree.size());
+  for (std::size_t i = 0; i < reach.tree.size(); ++i) {
+    index_of.emplace(reach.tree[i].cause.id, i);
+  }
+  std::map<std::uint64_t, std::uint64_t> pauses_by_flow;
+  const int victim_edge_id = victim_edge->id();
+  for (std::size_t i = 0; i < reach.tree.size(); ++i) {
+    PauseTreeNode& node = reach.tree[i];
+    const auto parent = node.cause.parent != 0
+                            ? index_of.find(node.cause.parent)
+                            : index_of.end();
+    if (parent != index_of.end()) {
+      node.depth = reach.tree[parent->second].depth + 1;
+      ++reach.tree[parent->second].children;
+    } else {
+      node.depth = 1;
+      ++reach.tree_roots;
+      if (reach.root_cause_switch < 0) {
+        // Earliest root in causal order = where the storm began.
+        reach.root_cause_flow = node.cause.trigger_flow;
+        reach.root_cause_switch = node.switch_id;
+        reach.root_cause_port = node.cause.egress_port;
+        reach.root_at_victim_edge = node.switch_id == victim_edge_id;
+      }
+    }
+    reach.tree_depth = std::max(reach.tree_depth, node.depth);
+    ++pauses_by_flow[node.cause.trigger_flow];
+  }
+  for (const PauseTreeNode& node : reach.tree) {
+    reach.tree_max_children =
+        std::max(reach.tree_max_children, node.children);
+  }
+  for (const auto& [flow, count] : pauses_by_flow) {
+    // Strict > with ascending iteration: ties keep the smaller flow id.
+    if (count > reach.top_offender_pauses) {
+      reach.top_offender_flow = flow;
+      reach.top_offender_pauses = count;
+    }
   }
   return reach;
 }

@@ -70,14 +70,40 @@ Fabric make_fabric(Network& net, const FabricConfig& config);
 Fabric make_fat_tree(Network& net, const FabricConfig& config);
 Fabric make_leaf_spine(Network& net, const FabricConfig& config);
 
+/// One node of the stitched pause-propagation forest: a PauseCause plus the
+/// switch that recorded it and its resolved child count. Nodes are in global
+/// causal order (sorted by time, then switch id, then pause id).
+struct PauseTreeNode {
+  PauseCause cause;
+  int switch_id = -1;
+  int children = 0;
+  int depth = 1;  ///< 1 for roots; parent depth + 1 otherwise
+};
+
 /// How far a PFC pause storm spread from a victim's edge switch: pause frames
 /// bucketed by ring (hop distance of the originating switch from the victim
-/// edge; ring 0 = the edge itself), the resulting propagation depth, and how
-/// many host NICs were paused at least once.
+/// edge; ring 0 = the edge itself), the resulting propagation depth, how many
+/// host NICs were paused at least once — and the causality forest stitched
+/// from every switch's PauseCause records, with root-cause attribution: the
+/// earliest root names the port whose backlog started the storm and the flow
+/// that tipped it over; the top offender is the flow that triggered the most
+/// pauses overall (ties break toward the smaller flow id).
 struct PauseReach {
   std::vector<std::uint64_t> frames_per_ring;
   int depth = 0;  ///< 1 + outermost ring that originated a pause; 0 = none
   int hosts_paused = 0;
+
+  std::vector<PauseTreeNode> tree;  ///< causal order (time, switch, id)
+  int tree_depth = 0;         ///< longest root-to-leaf chain (0 = no pauses)
+  int tree_roots = 0;         ///< independent causal chains
+  int tree_max_children = 0;  ///< widest fan-out of any single pause
+  std::uint64_t root_cause_flow = 0;   ///< trigger flow of the earliest root
+  int root_cause_switch = -1;          ///< switch that recorded it
+  int root_cause_port = -1;            ///< its egress port (the congested one)
+  bool root_at_victim_edge = false;    ///< did the storm start at the victim's
+                                       ///< edge switch?
+  std::uint64_t top_offender_flow = 0;     ///< flow triggering most pauses
+  std::uint64_t top_offender_pauses = 0;   ///< how many it triggered
 };
 
 PauseReach measure_pause_reach(const Fabric& fabric, int victim_host);

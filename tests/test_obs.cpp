@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/parallel.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "proto/factories.hpp"
@@ -224,6 +225,45 @@ TEST_F(ObsFixture, HistogramCountsSumsAndBuckets) {
                    7.92);
   EXPECT_EQ(obs::histogram_percentile("test.obs.hist", 0.0).value(), 0.0);
   EXPECT_FALSE(obs::histogram_percentile("no.such.histogram", 0.5).has_value());
+}
+
+TEST_F(ObsFixture, PercentileOfRegisteredButEmptyHistogramIsNullopt) {
+  // Registration alone is not data: a histogram that never recorded must
+  // answer "no percentile", same as an unknown name — not a fake 0.
+  obs::histogram("test.obs.empty_hist");
+  EXPECT_FALSE(obs::histogram_percentile("test.obs.empty_hist", 0.5)
+                   .has_value());
+  EXPECT_FALSE(obs::histogram_percentile("test.obs.empty_hist", 0.99)
+                   .has_value());
+}
+
+TEST_F(ObsFixture, ManifestReportsPerTaskTraceDrops) {
+  obs::set_trace_capacity(2);
+  obs::reset();  // apply the tiny capacity to fresh buffers
+  {
+    obs::TaskScope task3(3);
+    for (int i = 0; i < 7; ++i) {
+      obs::trace_instant("test.drop", static_cast<double>(i));
+    }
+  }
+  {
+    obs::TaskScope task1(1);
+    obs::trace_instant("test.keep", 0.0);  // fits: no drops for task 1
+  }
+  const std::string json = obs::RunManifest("test_tool").to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // 7 events into a 2-slot ring = 5 drops, attributed to task 3 only.
+  EXPECT_NE(json.find("\"dropped_total\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"3\": 5"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"1\":"), std::string::npos)
+      << "task 1 dropped nothing and must not appear: " << json;
+}
+
+TEST_F(ObsFixture, UntracedManifestHasNoTraceSection) {
+  obs::set_trace_enabled(false);
+  const std::string json = obs::RunManifest("test_tool").to_json();
+  EXPECT_EQ(json.find("\"trace\""), std::string::npos) << json;
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
 }
 
 TEST_F(ObsFixture, ReRegisteringUnderDifferentKindThrows) {

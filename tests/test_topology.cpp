@@ -315,6 +315,77 @@ TEST(FabricScenarios, PauseStormReportsPropagationDepthAndStaysLossless) {
   EXPECT_GT(result.reach.frames_per_ring[0], 0u);
 }
 
+TEST(PauseReach, LeafSpineTreeRootsAtTheVictimEdgeAndNamesOffenders) {
+  // 7 uncontrolled senders overrun one host downlink of a 2x4 leaf-spine.
+  // The stitched causality forest must (a) root at the victim leaf, (b) name
+  // the victim's downlink as the congested egress, (c) chain at least
+  // leaf -> spine deep, and (d) attribute a top-offender flow.
+  exp::PauseStormConfig config;
+  config.fabric.kind = FabricConfig::Kind::kLeafSpine;
+  config.fabric.spines = 2;
+  config.fabric.leaves = 4;
+  config.fabric.hosts_per_leaf = 4;
+  // Trunks faster than host links: the victim's 10G downlink is the only
+  // first bottleneck, so the earliest pause must root there (with equal-rate
+  // trunks a spine egress toward the victim leaf congests just as fast and
+  // the root can land one tier up).
+  config.fabric.fabric_link_rate = gbps(40.0);
+  config.fabric.pfc.pause_threshold = kilobytes(64.0);
+  config.fabric.pfc.resume_threshold = kilobytes(32.0);
+  config.senders = 7;
+  config.bytes_per_sender = megabytes(1.0);
+  config.duration_s = 0.005;
+  config.seed = 5;
+  const exp::PauseStormResult result = exp::run_pause_storm(config);
+  const PauseReach& reach = result.reach;
+
+  ASSERT_FALSE(reach.tree.empty());
+  EXPECT_GE(reach.tree_depth, 2) << "pauses must chain leaf -> spine";
+  EXPECT_GE(reach.tree_roots, 1);
+  EXPECT_GE(reach.tree_max_children, 1);
+
+  // Root-cause attribution: the storm starts at the victim's leaf, on the
+  // victim's own downlink port (the only congested egress in this workload).
+  EXPECT_TRUE(reach.root_at_victim_edge);
+  // attach_hosts wires host downlinks before the spine trunks, so victim
+  // host 0's downlink is port 0 of leaf 0 — the congested root egress.
+  EXPECT_EQ(reach.root_cause_port, 0)
+      << "root egress should be the victim host 0 downlink";
+  EXPECT_NE(reach.root_cause_flow, 0u);
+  EXPECT_NE(reach.top_offender_flow, 0u);
+  EXPECT_GE(reach.top_offender_pauses, 1u);
+
+  // Structural invariants: depths are consistent with parent edges, and
+  // children counts total nodes minus roots.
+  int non_roots = 0;
+  for (const PauseTreeNode& node : reach.tree) {
+    EXPECT_GE(node.depth, 1);
+    EXPECT_LE(node.depth, reach.tree_depth);
+    if (node.cause.parent != 0) ++non_roots;
+  }
+  int children_total = 0;
+  for (const PauseTreeNode& node : reach.tree) children_total += node.children;
+  EXPECT_EQ(children_total, non_roots);
+  EXPECT_EQ(static_cast<int>(reach.tree.size()) - reach.tree_roots, non_roots);
+}
+
+TEST(PauseReach, TreeIsEmptyWithoutPfcPressure) {
+  // A lightly-loaded incast below the pause threshold produces no causes.
+  Network net(1);
+  Fabric fabric = make_fat_tree(net, FabricConfig{});
+  Host* src = fabric.hosts[1];
+  src->set_controller_factory(fixed_factory(gbps(1.0)));
+  src->start_flow(fabric.hosts[0]->id(), kilobytes(16.0));
+  net.sim().run_until(seconds(0.01));
+  const PauseReach reach = measure_pause_reach(fabric, 0);
+  EXPECT_TRUE(reach.tree.empty());
+  EXPECT_EQ(reach.tree_depth, 0);
+  EXPECT_EQ(reach.tree_roots, 0);
+  EXPECT_EQ(reach.root_cause_switch, -1);
+  EXPECT_FALSE(reach.root_at_victim_edge);
+  EXPECT_EQ(reach.top_offender_pauses, 0u);
+}
+
 TEST(PauseReach, RingsFollowSwitchDistances) {
   Network net(1);
   Fabric fabric = make_fat_tree(net, FabricConfig{});
