@@ -8,6 +8,10 @@
 # this snapshot. The google-benchmark suite is skipped (--benchmark_filter
 # matches nothing); only the dedicated baseline loops run.
 #
+# Every run also appends the measurement as one compact JSON line to
+# BENCH_history.jsonl (same v2 doc: git SHA + machine descriptor + metrics),
+# the append-only perf trend log that `ecnd-diff --bench-history` renders.
+#
 # Usage: scripts/bench_baseline.sh [output.json]   (default: BENCH_obs.json)
 
 set -euo pipefail
@@ -23,4 +27,11 @@ ECND_GIT_SHA="$git_sha" ECND_BENCH_JSON="$out" \
   ./build/bench/bench_micro_perf --benchmark_filter='^$'
 
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
-echo "bench_baseline.sh: wrote $out (git $git_sha)"
+
+python3 - "$out" BENCH_history.jsonl <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+with open(sys.argv[2], "a") as f:
+    f.write(json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n")
+EOF
+echo "bench_baseline.sh: wrote $out (git $git_sha); appended to BENCH_history.jsonl"

@@ -21,9 +21,12 @@
 # --perf re-measures the two engine hot loops (bench_micro_perf's dedicated
 # baseline timing loops) and gates them against the committed BENCH_obs.json
 # via ecnd-report's perf path with --strict-perf: a regression beyond a
-# metric's recorded tolerance fails the script. Wall-clock numbers only mean
-# anything on the machine that produced the baseline — regenerate it with
-# scripts/bench_baseline.sh when moving boxes.
+# metric's recorded tolerance fails the script. The measurement goes through
+# scripts/bench_baseline.sh, so each --perf run also appends one compact JSON
+# line to BENCH_history.jsonl (the trend log `ecnd-diff --bench-history`
+# renders). Wall-clock numbers only mean anything on the machine that
+# produced the baseline — regenerate it with scripts/bench_baseline.sh when
+# moving boxes.
 #
 # --resume-smoke exercises the crash-resume path end to end: run a journaled
 # sweep (bench_fig14 with ECND_JOURNAL), SIGKILL it mid-flight, re-run with
@@ -43,7 +46,15 @@
 # flows), and stdout byte-identical with the recorder armed, idle, and
 # compiled out (-DECND_OBS=OFF, which must also write no export files).
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke|--report|--perf|--resume-smoke|--fabric-smoke|--flight-smoke]
+# --diff-smoke exercises the differential layer (OBSERVABILITY.md "Metric
+# time-series snapshots" / "Hierarchical profiler" / "ecnd-diff"): quick runs
+# with ECND_METRICS_TS and ECND_PROF armed must export byte-identical
+# snapshots and folded profiles at ECND_THREADS=1 vs 4, ecnd-diff must exit 0
+# on an identical-seed pair and nonzero (with a first-divergence timestamp)
+# on a perturbed-seed pair, stdout must stay untouched by the sampler, and a
+# -DECND_OBS=OFF build must write no snapshot/profile files.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only|--obs-smoke|--report|--perf|--resume-smoke|--fabric-smoke|--flight-smoke|--diff-smoke]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -65,7 +76,8 @@ mode="${1:-all}"
 if [[ "$mode" != "--sanitize-only" && "$mode" != "--tsan-only" \
       && "$mode" != "--obs-smoke" && "$mode" != "--report" \
       && "$mode" != "--perf" && "$mode" != "--resume-smoke" \
-      && "$mode" != "--fabric-smoke" && "$mode" != "--flight-smoke" ]]; then
+      && "$mode" != "--fabric-smoke" && "$mode" != "--flight-smoke" \
+      && "$mode" != "--diff-smoke" ]]; then
   echo "== plain build + tests (serial and threaded sweep paths) =="
   build_suite build
   run_tests build 1
@@ -193,11 +205,20 @@ if [[ "$mode" == "--report" ]]; then
     exit 1
   fi
 
+  # A fresh perf measurement turns the three perf rows into real
+  # current-vs-baseline comparisons instead of "no current measurement" warns.
+  echo "-- measuring current perf (bench_micro_perf baseline loops)"
+  ECND_BENCH_JSON="$tmp/bench_current.json" \
+    build/bench/bench_micro_perf --benchmark_filter='^$' > /dev/null 2>&1 || true
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "$tmp/bench_current.json"
+
   echo "-- ecnd-report gate (bench/expectations.json)"
   build/src/report/ecnd-report \
     --expectations bench/expectations.json \
     --manifest-dir "$tmp/manifests1" \
     --bench-baseline BENCH_obs.json \
+    --bench-current "$tmp/bench_current.json" \
     --out REPORT.md
   echo "report: wrote REPORT.md"
 fi
@@ -208,10 +229,8 @@ if [[ "$mode" == "--perf" ]]; then
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' EXIT
 
-  echo "-- measuring current tree (dedicated baseline loops)"
-  ECND_BENCH_JSON="$tmp/current.json" \
-    build/bench/bench_micro_perf --benchmark_filter='^$' > /dev/null 2>&1 || true
-  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$tmp/current.json"
+  echo "-- measuring current tree (bench_baseline.sh -> BENCH_history.jsonl)"
+  scripts/bench_baseline.sh "$tmp/current.json"
 
   # Perf-only gate: no observable expectations, just the bench comparison.
   printf '{"schema": "ecnd-expectations-v1", "tools": {}}\n' \
@@ -386,6 +405,67 @@ EOF
   cmp "$tmp/idle.txt" "$tmp/off.txt"
 
   echo "flight smoke: all checks passed"
+fi
+
+if [[ "$mode" == "--diff-smoke" ]]; then
+  echo "== differential smoke (snapshots + profiler + ecnd-diff) =="
+  build_suite build
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  bench=build/bench/bench_fig14_fct_vs_load
+  diff_bin=build/src/report/ecnd-diff
+
+  echo "-- baseline run (sampler idle)"
+  ECND_QUICK=1 ECND_THREADS=1 "$bench" > "$tmp/idle.csv" 2>/dev/null
+
+  echo "-- armed run, ECND_THREADS=1"
+  ECND_QUICK=1 ECND_THREADS=1 ECND_METRICS_TS="$tmp/s1" ECND_PROF="$tmp/s1" \
+    "$bench" > "$tmp/armed1.csv" 2>/dev/null
+  echo "-- armed run, ECND_THREADS=4"
+  ECND_QUICK=1 ECND_THREADS=4 ECND_METRICS_TS="$tmp/s4" ECND_PROF="$tmp/s4" \
+    "$bench" > "$tmp/armed4.csv" 2>/dev/null
+
+  echo "-- exports byte-identical across thread counts"
+  cmp "$tmp/s1.metrics_ts.json" "$tmp/s4.metrics_ts.json"
+  cmp "$tmp/s1.prof.folded" "$tmp/s4.prof.folded"
+
+  echo "-- stdout untouched by the sampler (armed vs idle)"
+  cmp "$tmp/idle.csv" "$tmp/armed1.csv"
+  cmp "$tmp/idle.csv" "$tmp/armed4.csv"
+
+  echo "-- ecnd-diff: identical-seed pair exits 0"
+  "$diff_bin" "$tmp/s1.metrics_ts.json" "$tmp/s4.metrics_ts.json" \
+    > "$tmp/d_same.md"
+
+  echo "-- ecnd-diff: perturbed-seed pair exits nonzero"
+  ECND_THREADS=2 ECND_METRICS_TS="$tmp/p1" \
+    build/examples/fault_study 4 0.05 1 > /dev/null 2>&1
+  ECND_THREADS=2 ECND_METRICS_TS="$tmp/p2" \
+    build/examples/fault_study 4 0.05 2 > /dev/null 2>&1
+  if "$diff_bin" "$tmp/p1.metrics_ts.json" "$tmp/p2.metrics_ts.json" \
+      > "$tmp/d_diff.md"; then
+    echo "ERROR: ecnd-diff reported no drift between different seeds" >&2
+    exit 1
+  fi
+  if ! grep -q 'first divergence' "$tmp/d_diff.md"; then
+    echo "ERROR: perturbed-pair diff carries no divergence timestamp" >&2
+    exit 1
+  fi
+
+  echo "-- compiled out (-DECND_OBS=OFF): no snapshot/profile files"
+  cmake -B build-obs-off -S . -DECND_OBS=OFF > /dev/null
+  cmake --build build-obs-off -j --target bench_fig14_fct_vs_load
+  ECND_QUICK=1 ECND_METRICS_TS="$tmp/off" ECND_PROF="$tmp/off" \
+    build-obs-off/bench/bench_fig14_fct_vs_load > "$tmp/off.csv" 2>/dev/null
+  for f in "$tmp/off.metrics_ts.json" "$tmp/off.prof.folded"; do
+    if [[ -e "$f" ]]; then
+      echo "ERROR: -DECND_OBS=OFF build wrote $f" >&2
+      exit 1
+    fi
+  done
+  cmp "$tmp/idle.csv" "$tmp/off.csv"
+
+  echo "diff smoke: all checks passed"
 fi
 
 echo "check.sh: all requested suites passed"

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace ecnd::par {
@@ -72,6 +73,7 @@ SweepTiming parallel_for_each(std::size_t count,
   timing.threads = threads;
   const auto sweep_start = Clock::now();
   if (count == 0) return timing;
+  obs::ProfScope sweep_scope("par.sweep");
 
   // Per-task durations land in per-index slots (no contention, and the
   // accounting is identical however tasks map onto threads).
@@ -81,6 +83,10 @@ SweepTiming parallel_for_each(std::size_t count,
   // trace depends on the grid, not on which worker ran the task.
   auto run_task = [&](std::size_t i) {
     obs::TaskScope scope(static_cast<std::uint32_t>(i) + 1);
+    // Detached: a task's profile frame must not inherit the caller's stack —
+    // on the main thread that stack holds par.sweep, on a worker it is
+    // empty, and the merged tree has to look the same either way.
+    obs::ProfScope prof_scope("par.task", obs::Anchor::kDetached);
     const auto t0 = Clock::now();
     try {
       fn(i);

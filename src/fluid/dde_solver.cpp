@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 
 namespace ecnd::fluid {
@@ -66,6 +67,7 @@ std::size_t History::locate(double t) const {
 double History::value(std::size_t var, double t) const {
   assert(var < dim_);
   assert(!times_.empty());
+  obs::ProfScope lookup_scope("fluid.history");
   kDelayedLookups.add();
   const std::size_t n = times_.size();
   if (t <= times_[start_]) {
@@ -88,6 +90,7 @@ double History::value(std::size_t var, double t) const {
 
 std::span<const double> History::values(double t) const {
   assert(!times_.empty());
+  obs::ProfScope lookup_scope("fluid.history");
   kDelayedLookups.add();
   const std::size_t n = times_.size();
   // Clamped reads return the stored row directly — zero copy.
@@ -203,6 +206,7 @@ void DdeSolver::set_guard(Guard guard, int max_step_halvings) {
 void DdeSolver::advance(double h) {
   kRk4Steps.add();
   kRhsEvals.add(4);
+  obs::ProfScope rhs_scope("fluid.rhs");
   const std::size_t n = x_.size();
   system_.rhs(t_, x_, history_, k1_);
   for (std::size_t i = 0; i < n; ++i) tmp_[i] = x_[i] + 0.5 * h * k1_[i];
@@ -301,7 +305,7 @@ void DdeSolver::run_until(
     double t_end,
     const std::function<void(double, std::span<const double>)>& observer,
     double sample_interval) {
-  obs::ScopedTimer timer(kRunNs);
+  obs::ScopedTimer timer(kRunNs, "fluid.run");
   const bool tracing = obs::trace_enabled();
   // Index-based termination: the target step count is computed once from
   // (t_end - t0) / dt, so neither the step loop nor the sampling below
@@ -339,6 +343,7 @@ void DdeSolver::run_until(
       }
     }
     step();
+    obs::snapshot_tick(t_);
     if (tracing) obs::trace_instant("fluid.rk4_step", t_ * 1e6, x_.empty() ? 0.0 : x_[0]);
   }
   if (observer) observer(t_, x_);

@@ -238,9 +238,13 @@ void write_flight_timeline_json(std::ostream& out) {
   const auto buffers = FlightStore::instance().snapshot();
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   const char* sep = "\n";
-  // Lane stride: span at lane*16, hop h at lane*16 + 1 + h. Clos paths here
-  // are at most 6 hops; the stride keeps every (flow, hop) on its own
-  // Perfetto thread so slices never overlap within a track.
+  // Lane stride: flow span at (lane+1)*16, hop h at (lane+1)*16 + 1 + h.
+  // Clos paths here are at most 6 hops; the stride keeps every (flow, hop)
+  // on its own Perfetto thread so slices never overlap within a track. Lanes
+  // start at tid 16, not 0: the tid band [0, 16) is reserved for the event
+  // tracer (trace.cpp), which shares the task-index pid namespace, so one
+  // Perfetto session can load both files coherently (OBSERVABILITY.md,
+  // "Shared pid/tid namespace").
   constexpr std::uint64_t kLaneStride = 16;
   for (const auto& [task, buf] : buffers) {
     out << sep << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << task
@@ -279,7 +283,8 @@ void write_flight_timeline_json(std::ostream& out) {
         }
       }
 
-      const std::uint64_t base = static_cast<std::uint64_t>(lane) * kLaneStride;
+      const std::uint64_t base =
+          (static_cast<std::uint64_t>(lane) + 1) * kLaneStride;
       out << sep << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << task
           << ",\"tid\":" << base << ",\"args\":{\"name\":\"flow " << flow.flow_id
           << " h" << flow.src_host << "->h" << flow.dst_host << "\"}}";

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "obs/flight.hpp"
+#include "obs/profile.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 
 namespace ecnd::obs {
@@ -80,6 +82,11 @@ class Registry {
   std::size_t total_cells() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return total_cells_;
+  }
+
+  std::size_t metric_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_.size();
   }
 
   /// Fold a shard into the global accumulator and zero it. Merge operators
@@ -221,6 +228,13 @@ void export_at_exit() {
   if (const char* prefix = std::getenv("ECND_FLIGHT")) {
     write_flight_files(prefix);
   }
+  if (const char* prefix = std::getenv("ECND_METRICS_TS")) {
+    write_metrics_ts_file(prefix);
+  }
+  if (const char* prefix = std::getenv("ECND_PROF")) {
+    write_profile_folded_file(prefix,
+                              std::getenv("ECND_PROF_WALL") != nullptr);
+  }
   if (std::getenv("ECND_OBS_SUMMARY")) print_summary(std::cerr);
 }
 
@@ -231,17 +245,32 @@ struct EnvInit {
   EnvInit() {
     // ECND_MANIFEST arms counting too: the manifest embeds a digest of the
     // metrics registry, which is only meaningful if the run counted.
+    // ECND_METRICS_TS likewise: the sampler records shard counts, so a run
+    // that does not count has nothing to snapshot.
+    const bool snapshot = std::getenv("ECND_METRICS_TS") != nullptr;
     const bool metrics = std::getenv("ECND_METRICS") ||
                          std::getenv("ECND_OBS_SUMMARY") ||
-                         std::getenv("ECND_MANIFEST");
+                         std::getenv("ECND_MANIFEST") || snapshot;
     const bool trace = std::getenv("ECND_TRACE") != nullptr;
     const bool flight = std::getenv("ECND_FLIGHT") != nullptr;
-    if (metrics || trace || flight) {
+    const bool prof = std::getenv("ECND_PROF") != nullptr;
+    if (metrics || trace || flight || prof) {
       detail::g_metrics_on.store(true, std::memory_order_relaxed);
       std::atexit(export_at_exit);
     }
     if (trace) detail::g_trace_on.store(true, std::memory_order_relaxed);
     if (flight) detail::g_flight_on.store(true, std::memory_order_relaxed);
+    if (snapshot) {
+      detail::g_snapshot_on.store(true, std::memory_order_relaxed);
+    }
+    if (prof) detail::g_prof_on.store(true, std::memory_order_relaxed);
+    if (const char* env = std::getenv("ECND_METRICS_TS_INTERVAL")) {
+      char* end = nullptr;
+      const double parsed = std::strtod(env, &end);
+      if (end != env && *end == '\0' && parsed > 0.0) {
+        set_snapshot_interval(parsed);
+      }
+    }
     if (const char* env = std::getenv("ECND_FLIGHT_SAMPLE")) {
       char* end = nullptr;
       const unsigned long long parsed = std::strtoull(env, &end, 10);
@@ -270,6 +299,28 @@ std::uint64_t* cells(std::uint32_t index) {
   std::vector<std::uint64_t>& c = *t_cells;
   if (index >= c.size()) c.resize(Registry::instance().total_cells(), 0);
   return c.data() + index;
+}
+
+std::vector<SnapshotRow> snapshot_rows() {
+  std::vector<MetricInfo> metrics;
+  std::vector<std::uint64_t> values;
+  Registry::instance().snapshot(metrics, values);
+  std::vector<SnapshotRow> rows;
+  rows.reserve(metrics.size());
+  for (const MetricInfo& m : metrics) {
+    rows.push_back({m.name, static_cast<std::uint8_t>(m.kind), m.domain,
+                    m.cell});
+  }
+  return rows;
+}
+
+std::size_t metric_count() { return Registry::instance().metric_count(); }
+
+void merge_and_zero_calling_thread() { merge_calling_thread(); }
+
+std::uint64_t read_thread_cell(std::uint32_t index) {
+  if (t_cells == nullptr || index >= t_cells->size()) return 0;
+  return (*t_cells)[index];
 }
 
 }  // namespace detail
@@ -421,6 +472,8 @@ void reset() {
   Registry::instance().zero_global();
   detail::trace_reset();
   detail::flight_reset();
+  detail::snapshot_reset();
+  detail::prof_reset();
 }
 
 #else  // ECND_OBS_DISABLED

@@ -30,10 +30,13 @@
 // either knob (or set_metrics_enabled(true)) arms the hot-path increments.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace ecnd::obs {
 
@@ -58,6 +61,29 @@ extern std::atomic<bool> g_metrics_on;
 /// Reference to the calling thread's shard cell `index` (shard grows to the
 /// registry's current layout on demand).
 std::uint64_t* cells(std::uint32_t index);
+
+// -- registry hooks for the sim-time snapshot sampler (obs/snapshot.cpp) --
+
+/// One registered metric and where its first cell sits in a shard. Name is a
+/// copy: the registry's own strings can move when its table grows.
+struct SnapshotRow {
+  std::string name;
+  std::uint8_t kind;  ///< 0 counter, 1 gauge, 2 histogram
+  Domain domain;
+  std::uint32_t cell;
+};
+/// Copy of the registry's metric table, registration order.
+std::vector<SnapshotRow> snapshot_rows();
+/// Registered-metric count: a cheap generation stamp for caching
+/// snapshot_rows() (the table is append-only).
+std::size_t metric_count();
+/// Fold the calling thread's shard into the global accumulator and zero it,
+/// so subsequent shard reads see only work done by this thread afterwards.
+/// Totals are unchanged (merges are commutative and happen exactly once).
+void merge_and_zero_calling_thread();
+/// Read cell `index` of the calling thread's shard without growing it
+/// (0 when the shard has no such cell yet).
+std::uint64_t read_thread_cell(std::uint32_t index);
 }  // namespace detail
 
 /// True when some consumer (env knob or set_metrics_enabled) wants counts.

@@ -201,10 +201,17 @@ void write_trace_json(std::ostream& out) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   const char* sep = "\n";
   for (const auto& [task, buf] : buffers) {
+    // Shared pid/tid namespace with the flight recorder's timeline.json:
+    // pid = task index in both files, the tracer's instants/counters live on
+    // tid 0 (the band [0, 16) is reserved for it) and flight flow lanes
+    // start at tid 16 — so loading both files into one Perfetto session
+    // renders coherent per-task tracks (OBSERVABILITY.md).
     out << sep
         << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << task
         << ",\"tid\":0,\"args\":{\"name\":\"task " << task << "\"}}";
     sep = ",\n";
+    out << sep << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << task
+        << ",\"tid\":0,\"args\":{\"name\":\"events\"}}";
     // Chronological order: a wrapped ring's oldest surviving record sits at
     // count % cap.
     const std::size_t n = buf->ring.size();

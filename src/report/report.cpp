@@ -57,7 +57,12 @@ Finding check_observable(const std::string& tool, const std::string& name,
                                          ? (equals->boolean() ? "true" : "false")
                                          : format_value(equals->number()));
   } else {
+    // Show both bands: the hard range fails, the soft band merely warns —
+    // a warn line must say which one the value escaped.
     f.expected = format_range(min, max);
+    if (warn_min || warn_max) {
+      f.expected += ", soft " + format_range(warn_min, warn_max);
+    }
   }
 
   if (measured == nullptr || measured->is_null()) {
@@ -91,8 +96,13 @@ Finding check_observable(const std::string& tool, const std::string& name,
   f.value = v;
   if (!std::isfinite(v) || (min && v < *min) || (max && v > *max)) {
     f.status = Status::kFail;
+    f.note = "outside hard range " + format_range(min, max) +
+             (f.note.empty() ? "" : "; claim: " + f.note);
   } else if ((warn_min && v < *warn_min) || (warn_max && v > *warn_max)) {
     f.status = Status::kWarn;
+    f.note = "outside soft range " + format_range(warn_min, warn_max) +
+             ", inside hard range " + format_range(min, max) +
+             (f.note.empty() ? "" : "; claim: " + f.note);
   } else {
     f.status = Status::kPass;
   }
@@ -152,7 +162,8 @@ void perf_section(const Json& baseline, const Json* current, bool strict_perf,
     }
     if (!cur) {
       f.status = Status::kWarn;
-      f.note = "no current measurement";
+      f.note = "no current measurement — pass --bench-current (check.sh "
+               "--report measures one; see also check.sh --perf)";
       report->perf.push_back(f);
       continue;
     }

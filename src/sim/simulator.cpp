@@ -7,6 +7,7 @@
 #include "core/diagnostic.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/snapshot.hpp"
 
 namespace ecnd::sim {
 namespace {
@@ -105,12 +106,17 @@ void Simulator::check_watchdogs() {
 
 bool Simulator::run_one() {
   if (queue_.empty()) return false;
-  const QueuedEvent ev = queue_.top();
-  queue_.pop();
+  QueuedEvent ev;
+  {
+    obs::ProfScope heap_scope("sim.heap_pop");
+    ev = queue_.top();
+    queue_.pop();
+  }
   assert(ev.t >= now_);
   now_ = ev.t;
   ++processed_;
   kEvents.add();
+  obs::snapshot_tick(to_seconds(now_));
   if (event_budget_ != 0 || wall_limit_s_ > 0.0) check_watchdogs();
   EventSlot& slot = slot_at(ev.slot);
   // Destroy + recycle even when the action throws (invariant guards inside
@@ -121,12 +127,13 @@ bool Simulator::run_one() {
     std::uint32_t idx;
     ~SlotGuard() { sim.release_slot(idx); }
   } guard{*this, ev.slot};
+  obs::ProfScope dispatch_scope("sim.dispatch");
   slot.ops->run_and_destroy(slot);
   return true;
 }
 
 void Simulator::run_until(PicoTime t_end) {
-  obs::ScopedTimer timer(kRunNs);
+  obs::ScopedTimer timer(kRunNs, "sim.run");
   arm_wall_clock();
   while (!queue_.empty() && queue_.top().t <= t_end) run_one();
   if (now_ < t_end) now_ = t_end;
@@ -136,7 +143,7 @@ void Simulator::run_until(PicoTime t_end) {
 }
 
 void Simulator::run_all() {
-  obs::ScopedTimer timer(kRunNs);
+  obs::ScopedTimer timer(kRunNs, "sim.run");
   arm_wall_clock();
   while (run_one()) {
   }
@@ -171,6 +178,7 @@ void Simulator::schedule_tagged_at(PicoTime t, std::uint16_t tag,
   ::new (static_cast<void*>(slot.inline_buf)) TaggedEvent{this, a, b, tag};
   slot.ops = &kTaggedOps;
   try {
+    obs::ProfScope heap_scope("sim.heap_push");
     queue_.push(QueuedEvent{t, next_seq_, idx});
   } catch (...) {
     release_slot(idx);

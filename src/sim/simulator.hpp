@@ -27,6 +27,7 @@
 
 #include "core/snapshot.hpp"
 #include "core/units.hpp"
+#include "obs/profile.hpp"
 
 namespace ecnd::sim {
 
@@ -59,6 +60,7 @@ class Simulator {
       throw;
     }
     try {
+      obs::ProfScope heap_scope("sim.heap_push");
       queue_.push(QueuedEvent{t, next_seq_, idx});
     } catch (...) {
       slot.ops->destroy(slot);

@@ -5,6 +5,7 @@
 
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace ecnd::sim {
@@ -88,22 +89,26 @@ void Switch::receive(Packet pkt, int ingress_port) {
     return;
   }
 
-  const auto route = routes_.find(pkt.dst_host);
-  assert(route != routes_.end() && !route->second.empty() &&
-         "no route for destination host");
-  const std::vector<int>& candidates = route->second;
-  int egress = candidates.front();
-  if (candidates.size() > 1) {
-    // Per-flow ECMP: every packet of a flow hashes identically, so a flow
-    // sticks to one path (receivers rely on in-order flow_end delivery).
-    const std::uint64_t h =
-        ecmp_hash(ecmp_seed_, pkt.src_host, pkt.dst_host, pkt.flow_id);
-    egress = candidates[h % candidates.size()];
-    kEcmpDecisions.add();
-    if (obs::flight_enabled() && pkt.type == PacketType::kData) {
-      port(egress).flight_stage_ecmp(
-          static_cast<std::uint16_t>(candidates.size()),
-          static_cast<std::uint16_t>(h % candidates.size()));
+  int egress;
+  {
+    obs::ProfScope route_scope("sim.route");
+    const auto route = routes_.find(pkt.dst_host);
+    assert(route != routes_.end() && !route->second.empty() &&
+           "no route for destination host");
+    const std::vector<int>& candidates = route->second;
+    egress = candidates.front();
+    if (candidates.size() > 1) {
+      // Per-flow ECMP: every packet of a flow hashes identically, so a flow
+      // sticks to one path (receivers rely on in-order flow_end delivery).
+      const std::uint64_t h =
+          ecmp_hash(ecmp_seed_, pkt.src_host, pkt.dst_host, pkt.flow_id);
+      egress = candidates[h % candidates.size()];
+      kEcmpDecisions.add();
+      if (obs::flight_enabled() && pkt.type == PacketType::kData) {
+        port(egress).flight_stage_ecmp(
+            static_cast<std::uint16_t>(candidates.size()),
+            static_cast<std::uint16_t>(h % candidates.size()));
+      }
     }
   }
 
