@@ -3,9 +3,9 @@
 // figure; used to keep the harnesses fast enough for the full sweeps.
 //
 // ECND_BENCH_JSON=<path> additionally writes a small machine-readable perf
-// baseline (ns/sim-event, ns/RK4-step, sweep-task throughput) measured with
-// dedicated timing loops — see scripts/bench_baseline.sh and the committed
-// BENCH_obs.json snapshot.
+// baseline (ns/sim-event, ns/RK4-step, ns per per-flow RHS eval at 10k
+// flows, sweep-task throughput) measured with dedicated timing loops — see
+// scripts/bench_baseline.sh and the committed BENCH_obs.json snapshot.
 
 #include <benchmark/benchmark.h>
 
@@ -40,7 +40,7 @@ void BM_DdeSolverDcqcnStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_DdeSolverDcqcnStep)->Arg(2)->Arg(10)->Arg(64);
+BENCHMARK(BM_DdeSolverDcqcnStep)->Arg(2)->Arg(10)->Arg(64)->Arg(1000);
 
 void BM_DdeSolverTimelyStep(benchmark::State& state) {
   fluid::TimelyFluidParams p;
@@ -53,7 +53,7 @@ void BM_DdeSolverTimelyStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_DdeSolverTimelyStep)->Arg(2)->Arg(16);
+BENCHMARK(BM_DdeSolverTimelyStep)->Arg(2)->Arg(16)->Arg(1000);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
@@ -142,6 +142,27 @@ double measure_ns_per_rk4_step() {
   return best;
 }
 
+/// ns per per-flow RHS evaluation at the 10k-flow scale target: one DCQCN
+/// run with N = 10000 (the feasibility boundary at 10G/1000B, where
+/// N * kMinRatePps == capacity) integrated over a 0.1s horizon through the
+/// aggregate-observables sampler. A single repetition suffices: the run is
+/// 50000 steps x 4 RK4 stages x 10000 flows = 2e9 flow-evaluations, which
+/// self-averages far below the rep-to-rep noise of the short loops above.
+double measure_ns_per_flow_rhs() {
+  fluid::DcqcnFluidParams p;
+  p.num_flows = 10000;
+  fluid::DcqcnFluidModel model(p);
+  constexpr double kHorizon = 0.1;
+  constexpr double kDt = 2e-6;
+  const auto t0 = std::chrono::steady_clock::now();
+  const fluid::FluidAggregateRun run =
+      fluid::simulate_aggregates(model, kHorizon, 1e-3, {}, kDt);
+  const double s = elapsed_s(t0);
+  benchmark::DoNotOptimize(run.queue_bytes.samples().data());
+  const double flow_evals = kHorizon / kDt * 4.0 * p.num_flows;
+  return s * 1e9 / flow_evals;
+}
+
 /// Sweep-engine dispatch throughput: near-empty tasks, so the number is the
 /// per-task overhead (slot setup, TaskScope, timing) rather than workload.
 double measure_sweep_tasks_per_s() {
@@ -171,6 +192,7 @@ void write_baseline(const char* path) {
   }
   const double sim_ns = measure_ns_per_sim_event();
   const double rk4_ns = measure_ns_per_rk4_step();
+  const double flow_rhs_ns = measure_ns_per_flow_rhs();
   const double tasks_per_s = measure_sweep_tasks_per_s();
   const char* git_sha = std::getenv("ECND_GIT_SHA");
 #if defined(__x86_64__)
@@ -188,17 +210,18 @@ void write_baseline(const char* path) {
                "  \"metrics\": {\n"
                "    \"ns_per_sim_event\": {\"value\": %.1f, \"tolerance\": 0.5},\n"
                "    \"ns_per_rk4_step\": {\"value\": %.1f, \"tolerance\": 0.5},\n"
+               "    \"ns_per_flow_rhs\": {\"value\": %.2f, \"tolerance\": 0.5},\n"
                "    \"sweep_tasks_per_s\": {\"value\": %.0f, \"tolerance\": 0.75}\n"
                "  }\n"
                "}\n",
                git_sha != nullptr ? git_sha : "unknown", arch,
                std::thread::hardware_concurrency(), sim_ns, rk4_ns,
-               tasks_per_s);
+               flow_rhs_ns, tasks_per_s);
   std::fclose(f);
   std::fprintf(stderr,
                "[bench] baseline -> %s (sim event %.0fns, rk4 step %.0fns, "
-               "%.0f sweep tasks/s)\n",
-               path, sim_ns, rk4_ns, tasks_per_s);
+               "flow rhs %.2fns at 10k, %.0f sweep tasks/s)\n",
+               path, sim_ns, rk4_ns, flow_rhs_ns, tasks_per_s);
 }
 
 }  // namespace

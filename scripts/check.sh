@@ -18,8 +18,9 @@
 # checks the manifest contract: bit-identical at ECND_THREADS=1 vs 4, stdout
 # untouched by the writer, and no manifest file under -DECND_OBS=OFF.
 #
-# --perf re-measures the two engine hot loops (bench_micro_perf's dedicated
-# baseline timing loops) and gates them against the committed BENCH_obs.json
+# --perf re-measures the engine hot loops (bench_micro_perf's dedicated
+# baseline timing loops, including the 10k-flow ns_per_flow_rhs scaling
+# guard) and gates them against the committed BENCH_obs.json
 # via ecnd-report's perf path with --strict-perf: a regression beyond a
 # metric's recorded tolerance fails the script. The measurement goes through
 # scripts/bench_baseline.sh, so each --perf run also appends one compact JSON
@@ -205,7 +206,7 @@ if [[ "$mode" == "--report" ]]; then
     exit 1
   fi
 
-  # A fresh perf measurement turns the three perf rows into real
+  # A fresh perf measurement turns the perf rows into real
   # current-vs-baseline comparisons instead of "no current measurement" warns.
   echo "-- measuring current perf (bench_micro_perf baseline loops)"
   ECND_BENCH_JSON="$tmp/bench_current.json" \

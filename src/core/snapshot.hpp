@@ -46,7 +46,8 @@ class SnapshotError : public std::runtime_error {
 };
 
 /// Snapshot format generation. Bump when any payload layout changes.
-inline constexpr std::uint16_t kSnapshotVersion = 1;
+/// v2: History payload gained the deep-retention side store.
+inline constexpr std::uint16_t kSnapshotVersion = 2;
 
 /// Engine kinds (the header rejects cross-engine restores).
 enum class SnapshotKind : std::uint16_t {

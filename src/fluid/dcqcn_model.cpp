@@ -35,14 +35,14 @@ double mark_within(double p, double l, double n) {
   return -std::expm1(n * l);
 }
 
-constexpr double kMinRatePps = 125.0;  // ~1 Mb/s at 1000B MTU
-
 }  // namespace
 
 DcqcnFluidModel::DcqcnFluidModel(DcqcnFluidParams params) : params_(params) {
   assert(params_.num_flows >= 1);
   assert(params_.kmax > params_.kmin);
   assert(params_.pmax > 0.0 && params_.pmax <= 1.0);
+  require_min_rate_feasible("DcqcnFluidModel", params_.num_flows, kMinRatePps,
+                            params_.capacity_pps());
 }
 
 double DcqcnFluidModel::marking_probability(double q_pkts) const {
@@ -89,37 +89,52 @@ DcqcnFluidModel::FlowDerivatives DcqcnFluidModel::flow_rhs(
                          rc_delayed);
 }
 
-DcqcnFluidModel::FlowDerivatives DcqcnFluidModel::flow_rhs_shared(
-    double alpha, double rt, double rc, const MarkingShared& m,
-    double rc_delayed) const {
+DcqcnFluidModel::RateShared DcqcnFluidModel::make_rate_shared(
+    const MarkingShared& m, double rc_delayed) const {
   const DcqcnFluidParams& P = params_;
   const double p = m.p;
-  const double rcd = std::max(rc_delayed, kMinRatePps);
+  RateShared r{};
+  r.rcd = std::max(rc_delayed, kMinRatePps);
 
-  const double TRc = P.timer_T * rcd;
+  const double TRc = P.timer_T * r.rcd;
   const double F = P.fast_recovery_steps;
 
   // Probability of at least one CNP per tau / tau' window (Equations 5-7).
-  const double cnp_prob_tau = mark_within(p, m.l, P.tau_cnp * rcd);
-  const double cnp_prob_tau_alpha = mark_within(p, m.l, P.tau_alpha * rcd);
+  r.cnp_prob_tau = mark_within(p, m.l, P.tau_cnp * r.rcd);
+  r.cnp_prob_tau_alpha = mark_within(p, m.l, P.tau_alpha * r.rcd);
 
   // Timer-based rate-increase event factors (the byte-counter pair depends
   // only on p and lives in MarkingShared), Equation 6/7.
-  const double timer_factor = increase_event_factor(p, m.l, TRc);  // ~ 1/(T Rc)
-  const double timer_ai = pow1m(m.l, F * TRc);                     // P(in AI, timer)
+  r.timer_factor = increase_event_factor(p, m.l, TRc);   // ~ 1/(T Rc)
+  const double timer_ai = pow1m(m.l, F * TRc);           // P(in AI, timer)
 
+  // The Equation-6 additive-increase terms in full — association matches the
+  // original dRt/dt sum exactly, so folding them here is bit-neutral.
+  r.ai_byte = P.rate_ai_pps() * r.rcd * m.byte_ai * m.byte_factor;
+  r.ai_timer = P.rate_ai_pps() * r.rcd * timer_ai * r.timer_factor;
+  return r;
+}
+
+DcqcnFluidModel::FlowDerivatives DcqcnFluidModel::flow_rhs_from(
+    double alpha, double rt, double rc, const MarkingShared& m,
+    const RateShared& r) const {
+  const DcqcnFluidParams& P = params_;
   FlowDerivatives d{};
   // Equation 5.
-  d.dalpha = P.g / P.tau_alpha * (cnp_prob_tau_alpha - alpha);
+  d.dalpha = P.g / P.tau_alpha * (r.cnp_prob_tau_alpha - alpha);
   // Equation 6.
-  d.dtarget = -(rt - rc) / P.tau_cnp * cnp_prob_tau +
-              P.rate_ai_pps() * rcd * m.byte_ai * m.byte_factor +
-              P.rate_ai_pps() * rcd * timer_ai * timer_factor;
+  d.dtarget = -(rt - rc) / P.tau_cnp * r.cnp_prob_tau + r.ai_byte + r.ai_timer;
   // Equation 7.
-  d.drate = -(rc * alpha) / (2.0 * P.tau_cnp) * cnp_prob_tau +
-            (rt - rc) / 2.0 * rcd * m.byte_factor +
-            (rt - rc) / 2.0 * rcd * timer_factor;
+  d.drate = -(rc * alpha) / (2.0 * P.tau_cnp) * r.cnp_prob_tau +
+            (rt - rc) / 2.0 * r.rcd * m.byte_factor +
+            (rt - rc) / 2.0 * r.rcd * r.timer_factor;
   return d;
+}
+
+DcqcnFluidModel::FlowDerivatives DcqcnFluidModel::flow_rhs_shared(
+    double alpha, double rt, double rc, const MarkingShared& m,
+    double rc_delayed) const {
+  return flow_rhs_from(alpha, rt, rc, m, make_rate_shared(m, rc_delayed));
 }
 
 void DcqcnFluidModel::rhs(double t, std::span<const double> x, const History& past,
@@ -136,16 +151,32 @@ void DcqcnFluidModel::rhs(double t, std::span<const double> x, const History& pa
   if (q <= 0.0 && dq < 0.0) dq = 0.0;
   dxdt[queue_index()] = dq;
 
-  // One history search serves the queue and every flow's delayed rate: all
-  // N+1 reads share the same delayed time.
-  const std::span<const double> delayed = past.values(t_delayed);
-  const double p_delayed = marking_probability(delayed[queue_index()]);
+  // Two history searches serve every delayed read: the queue drives the
+  // shared marking terms, and the SoA rate block interpolates in one
+  // contiguous pass (the second search reuses the cursor the first warmed).
+  const double q_delayed = past.value(queue_index(), t_delayed);
+  const std::span<const double> rc_delayed =
+      past.values(t_delayed, rate_index(0), nflows());
+  const double p_delayed = marking_probability(q_delayed);
   const MarkingShared shared = make_marking_shared(p_delayed);
 
+  // One-entry memo over the delayed rate: in symmetric runs every flow's
+  // delayed rate is bitwise identical, so the expensive transcendental block
+  // is computed once per evaluation instead of once per flow. Keyed on exact
+  // bits — a miss just recomputes, so results never depend on the memo.
+  RateShared rate_shared{};
+  double rate_shared_key = 0.0;
+  bool have_rate_shared = false;
   for (int i = 0; i < P.num_flows; ++i) {
+    const double rcd_i = rc_delayed[static_cast<std::size_t>(i)];
+    if (!have_rate_shared || rcd_i != rate_shared_key) {
+      rate_shared = make_rate_shared(shared, rcd_i);
+      rate_shared_key = rcd_i;
+      have_rate_shared = true;
+    }
     const FlowDerivatives d =
-        flow_rhs_shared(x[alpha_index(i)], x[target_rate_index(i)],
-                        x[rate_index(i)], shared, delayed[rate_index(i)]);
+        flow_rhs_from(x[alpha_index(i)], x[target_rate_index(i)],
+                      x[rate_index(i)], shared, rate_shared);
     dxdt[alpha_index(i)] = d.dalpha;
     dxdt[target_rate_index(i)] = d.dtarget;
     dxdt[rate_index(i)] = d.drate;

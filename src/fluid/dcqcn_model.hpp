@@ -1,11 +1,13 @@
 #pragma once
 // DCQCN fluid model — paper Figure 1 (Equations 3-7), extended per-flow form.
 //
-// State vector layout (packet units):
+// State vector layout (packet units), struct-of-arrays per variable so each
+// per-flow block is contiguous (the delayed-rate block interpolates and the
+// per-flow RHS remainder vectorizes; see DESIGN.md):
 //   x[0]                 q     bottleneck queue (packets)
-//   x[1 + 3i + 0]        a_i   per-flow alpha (rate-reduction factor)
-//   x[1 + 3i + 1]        Rt_i  per-flow target rate (packets/s)
-//   x[1 + 3i + 2]        Rc_i  per-flow current rate (packets/s)
+//   x[1 + i]             a_i   per-flow alpha (rate-reduction factor)
+//   x[1 + N + i]         Rt_i  per-flow target rate (packets/s)
+//   x[1 + 2N + i]        Rc_i  per-flow current rate (packets/s)
 //
 // Dynamics (delayed arguments marked with ~, delay tau* [+ jitter]):
 //   Eq 3: p(q)  RED-style marking probability between Kmin and Kmax
@@ -77,6 +79,12 @@ struct DcqcnFluidParams {
 
 class DcqcnFluidModel final : public FluidModel {
  public:
+  /// RP rate floor (~1 Mb/s at 1000B MTU): rates below it are instantaneous
+  /// transients, and the floor keeps the exponential terms well-scaled.
+  static constexpr double kMinRatePps = 125.0;
+
+  /// Throws InvariantViolation when num_flows * kMinRatePps exceeds the link
+  /// capacity (the rate floor would pin demand above capacity forever).
   explicit DcqcnFluidModel(DcqcnFluidParams params);
 
   const DcqcnFluidParams& params() const { return params_; }
@@ -88,13 +96,13 @@ class DcqcnFluidModel final : public FluidModel {
   int num_flows() const override { return params_.num_flows; }
   std::size_t queue_index() const override { return 0; }
   std::size_t rate_index(int flow) const override {
-    return 1 + 3 * static_cast<std::size_t>(flow) + 2;
+    return 1 + 2 * nflows() + static_cast<std::size_t>(flow);
   }
   std::size_t alpha_index(int flow) const {
-    return 1 + 3 * static_cast<std::size_t>(flow);
+    return 1 + static_cast<std::size_t>(flow);
   }
   std::size_t target_rate_index(int flow) const {
-    return 1 + 3 * static_cast<std::size_t>(flow) + 1;
+    return 1 + nflows() + static_cast<std::size_t>(flow);
   }
   std::vector<double> initial_state() const override;
   double suggested_dt() const override;
@@ -123,6 +131,10 @@ class DcqcnFluidModel final : public FluidModel {
                            double p_delayed, double rc_delayed) const;
 
  private:
+  std::size_t nflows() const {
+    return static_cast<std::size_t>(params_.num_flows);
+  }
+
   /// Marking terms that depend only on the delayed marking probability, not
   /// on the flow: computed once per rhs() call instead of once per flow.
   /// l = log1p(-p) is additionally shared by every per-flow exponential
@@ -136,6 +148,24 @@ class DcqcnFluidModel final : public FluidModel {
     double byte_ai;      ///< (1-p)^{F B}
   };
   MarkingShared make_marking_shared(double p_delayed) const;
+
+  /// The remaining per-flow terms that depend only on (p, delayed rate) —
+  /// every transcendental the flow RHS needs. In symmetric many-flow runs
+  /// the delayed rates are bitwise identical across flows, so rhs() memoizes
+  /// one RateShared per distinct delayed-rate value and the 10k-flow hot
+  /// loop pays ~one expm1/exp set per evaluation instead of 10k.
+  struct RateShared {
+    double rcd;                 ///< delayed rate clamped to kMinRatePps
+    double cnp_prob_tau;        ///< 1 - (1-p)^{tau Rc}
+    double cnp_prob_tau_alpha;  ///< 1 - (1-p)^{tau' Rc}
+    double timer_factor;        ///< p / ((1-p)^{-T Rc} - 1), limit 1/(T Rc)
+    double ai_byte;             ///< R_AI Rc (1-p)^{F B} p / ((1-p)^{-B} - 1)
+    double ai_timer;            ///< timer-counter twin of ai_byte
+  };
+  RateShared make_rate_shared(const MarkingShared& m, double rc_delayed) const;
+  FlowDerivatives flow_rhs_from(double alpha, double rt, double rc,
+                                const MarkingShared& m,
+                                const RateShared& r) const;
   FlowDerivatives flow_rhs_shared(double alpha, double rt, double rc,
                                   const MarkingShared& m,
                                   double rc_delayed) const;

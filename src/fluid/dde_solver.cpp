@@ -41,27 +41,79 @@ void History::append(double t, std::span<const double> x) {
   states_.insert(states_.end(), x.begin(), x.end());
 }
 
-std::size_t History::locate(double t) const {
-  const std::size_t n = times_.size();
-  std::size_t hi = cursor_;
-  // The hint brackets a valid search start iff times_[hi-1] < t: every index
-  // below hi is then < t too, so the first index with times_[i] >= t lies at
-  // or ahead of hi — exactly what lower_bound over [start_, n) would return.
-  if (hi > start_ && hi < n && times_[hi - 1] < t) {
+std::size_t History::locate_in(const std::vector<double>& times,
+                               std::size_t start, std::size_t& cursor,
+                               double t) {
+  const std::size_t n = times.size();
+  std::size_t hi = cursor;
+  // The hint brackets a valid search start iff times[hi-1] < t: every index
+  // below hi is then < t too, so the first index with times[i] >= t lies at
+  // or ahead of hi — exactly what lower_bound over [start, n) would return.
+  if (hi > start && hi < n && times[hi - 1] < t) {
     for (int walked = 0; walked < kMaxHintWalk; ++walked) {
-      if (times_[hi] >= t) {
+      if (times[hi] >= t) {
         kLookupHintHits.add();
-        cursor_ = hi;
+        cursor = hi;
         return hi;
       }
-      ++hi;  // cannot pass n-1: callers guarantee t < times_.back()
+      ++hi;  // cannot pass n-1: callers guarantee t <= times.back()
     }
   }
-  const auto begin = times_.begin() + static_cast<std::ptrdiff_t>(start_);
-  hi = static_cast<std::size_t>(std::lower_bound(begin, times_.end(), t) -
-                                times_.begin());
-  cursor_ = hi;
+  const auto begin = times.begin() + static_cast<std::ptrdiff_t>(start);
+  hi = static_cast<std::size_t>(std::lower_bound(begin, times.end(), t) -
+                                times.begin());
+  cursor = hi;
   return hi;
+}
+
+void History::set_deep_retention(std::size_t var_begin, std::size_t var_count) {
+  assert(times_.empty());
+  assert(var_count > 0 && var_begin + var_count <= dim_);
+  deep_begin_ = var_begin;
+  deep_count_ = var_count;
+}
+
+double History::deep_value(std::size_t var, double t) const {
+  const std::size_t col = var - deep_begin_;
+  const std::size_t m = deep_times_.size();
+  if (t > deep_times_[m - 1]) {
+    // The row store starts exactly one sample after the deep store ends, so
+    // a query between the two brackets across the boundary pair — the same
+    // adjacent samples (and the same interpolation expression) an untrimmed
+    // History would use.
+    const double lo_t = deep_times_[m - 1];
+    const double vlo = deep_vals_[(m - 1) * deep_count_ + col];
+    const double vhi = states_[start_ * dim_ + var];
+    const double span = times_[start_] - lo_t;
+    if (span <= 0.0) return vhi;
+    const double w = (t - lo_t) / span;
+    return vlo + w * (vhi - vlo);
+  }
+  const std::size_t hi = locate_in(deep_times_, deep_start_, deep_cursor_, t);
+  const std::size_t lo = hi - 1;
+  const double span = deep_times_[hi] - deep_times_[lo];
+  const double vlo = deep_vals_[lo * deep_count_ + col];
+  const double vhi = deep_vals_[hi * deep_count_ + col];
+  if (span <= 0.0) return vhi;
+  const double w = (t - deep_times_[lo]) / span;
+  return vlo + w * (vhi - vlo);
+}
+
+std::span<const double> History::deep_clamped_range(
+    double t, std::size_t var_begin, std::size_t var_count) const {
+  batch_buf_.resize(var_count);
+  for (std::size_t v = 0; v < var_count; ++v) {
+    const std::size_t var = var_begin + v;
+    if (deep_covers(var)) {
+      batch_buf_[v] =
+          t > deep_times_[deep_start_]
+              ? deep_value(var, t)
+              : deep_vals_[deep_start_ * deep_count_ + (var - deep_begin_)];
+    } else {
+      batch_buf_[v] = states_[start_ * dim_ + var];
+    }
+  }
+  return {batch_buf_.data(), var_count};
 }
 
 double History::value(std::size_t var, double t) const {
@@ -71,6 +123,11 @@ double History::value(std::size_t var, double t) const {
   kDelayedLookups.add();
   const std::size_t n = times_.size();
   if (t <= times_[start_]) {
+    if (deep_covers(var) && deep_start_ < deep_times_.size()) {
+      if (t > deep_times_[deep_start_]) return deep_value(var, t);
+      kLookupClamped.add();
+      return deep_vals_[deep_start_ * deep_count_ + (var - deep_begin_)];
+    }
     kLookupClamped.add();
     return states_[start_ * dim_ + var];
   }
@@ -93,8 +150,12 @@ std::span<const double> History::values(double t) const {
   obs::ProfScope lookup_scope("fluid.history");
   kDelayedLookups.add();
   const std::size_t n = times_.size();
-  // Clamped reads return the stored row directly — zero copy.
+  // Clamped reads return the stored row directly — zero copy. Deep-covered
+  // variables may still have older samples in the side store.
   if (t <= times_[start_]) {
+    if (deep_count_ > 0 && deep_start_ < deep_times_.size()) {
+      return deep_clamped_range(t, 0, dim_);
+    }
     kLookupClamped.add();
     return {states_.data() + start_ * dim_, dim_};
   }
@@ -117,26 +178,125 @@ std::span<const double> History::values(double t) const {
   return {batch_buf_.data(), dim_};
 }
 
-void History::trim_before(double t_keep) {
+std::span<const double> History::values(double t, std::size_t var_begin,
+                                        std::size_t var_count) const {
+  assert(!times_.empty());
+  assert(var_begin + var_count <= dim_);
+  obs::ProfScope lookup_scope("fluid.history");
+  kDelayedLookups.add();
   const std::size_t n = times_.size();
-  if (n < 3) return;
-  // First index past start_ with times_[i] >= t_keep; the entry before it is
-  // the newest point still needed to interpolate across t_keep.
-  const auto begin = times_.begin() + static_cast<std::ptrdiff_t>(start_ + 1);
-  const std::size_t first_ge = static_cast<std::size_t>(
-      std::lower_bound(begin, times_.end(), t_keep) - times_.begin());
-  const std::size_t new_start = std::min(first_ge - 1, n - 2);
-  if (new_start <= start_) return;
-  start_ = new_start;
-  // Physically compact occasionally to bound memory.
-  if (start_ > 4096 && start_ > times_.size() / 2) {
-    times_.erase(times_.begin(), times_.begin() + static_cast<std::ptrdiff_t>(start_));
-    states_.erase(states_.begin(),
-                  states_.begin() + static_cast<std::ptrdiff_t>(start_ * dim_));
-    // Shift the cursor with the data; a cursor that pointed into the erased
-    // prefix is simply invalidated (locate() re-validates before trusting it).
-    cursor_ = cursor_ >= start_ ? cursor_ - start_ : 0;
-    start_ = 0;
+  if (t <= times_[start_]) {
+    if (deep_count_ > 0 && deep_start_ < deep_times_.size() &&
+        var_begin < deep_begin_ + deep_count_ &&
+        deep_begin_ < var_begin + var_count) {
+      return deep_clamped_range(t, var_begin, var_count);
+    }
+    kLookupClamped.add();
+    return {states_.data() + start_ * dim_ + var_begin, var_count};
+  }
+  if (t >= times_[n - 1]) {
+    kLookupClamped.add();
+    return {states_.data() + (n - 1) * dim_ + var_begin, var_count};
+  }
+  const std::size_t hi = locate(t);
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  const double* row_lo = states_.data() + lo * dim_ + var_begin;
+  const double* row_hi = states_.data() + hi * dim_ + var_begin;
+  if (span <= 0.0) return {row_hi, var_count};
+  const double w = (t - times_[lo]) / span;
+  batch_buf_.resize(var_count);
+  for (std::size_t v = 0; v < var_count; ++v) {
+    // Same expression as value(): results are bit-identical either way.
+    batch_buf_[v] = row_lo[v] + w * (row_hi[v] - row_lo[v]);
+  }
+  return {batch_buf_.data(), var_count};
+}
+
+void History::values_at(std::size_t var, std::span<const double> times,
+                        std::span<double> out) const {
+  assert(times.size() == out.size());
+  bool have_prev = false;
+  double prev_t = 0.0;
+  double prev_v = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double t = times[i];
+    if (have_prev && t == prev_t) {
+      kDelayedLookups.add();
+      kLookupHintHits.add();
+      out[i] = prev_v;
+      continue;
+    }
+    prev_v = value(var, t);
+    prev_t = t;
+    have_prev = true;
+    out[i] = prev_v;
+  }
+}
+
+void History::trim_before(double t_keep) { trim_before(t_keep, t_keep); }
+
+void History::trim_before(double t_keep_rows, double t_keep_deep) {
+  const std::size_t n = times_.size();
+  if (n >= 3) {
+    // First index past start_ with times_[i] >= t_keep; the entry before it
+    // is the newest point still needed to interpolate across t_keep.
+    const auto begin = times_.begin() + static_cast<std::ptrdiff_t>(start_ + 1);
+    const std::size_t first_ge = static_cast<std::size_t>(
+        std::lower_bound(begin, times_.end(), t_keep_rows) - times_.begin());
+    const std::size_t new_start = std::min(first_ge - 1, n - 2);
+    if (new_start > start_) {
+      if (deep_count_ > 0) {
+        // Move the dropped rows' deep-retained columns into the side store
+        // before the rows become unreachable.
+        for (std::size_t i = start_; i < new_start; ++i) {
+          deep_times_.push_back(times_[i]);
+          const double* row = states_.data() + i * dim_ + deep_begin_;
+          deep_vals_.insert(deep_vals_.end(), row, row + deep_count_);
+        }
+      }
+      start_ = new_start;
+      // Physically compact occasionally to bound memory. The byte-based
+      // clause matters for wide systems (10k-flow rows are ~240KB each):
+      // waiting for 4096 dead rows would hold a gigabyte of dead prefix.
+      if ((start_ > 4096 || start_ * dim_ > (std::size_t{1} << 20)) &&
+          start_ > times_.size() / 2) {
+        times_.erase(times_.begin(),
+                     times_.begin() + static_cast<std::ptrdiff_t>(start_));
+        states_.erase(
+            states_.begin(),
+            states_.begin() + static_cast<std::ptrdiff_t>(start_ * dim_));
+        // Shift the cursor with the data; a cursor that pointed into the
+        // erased prefix is simply invalidated (locate() re-validates before
+        // trusting it).
+        cursor_ = cursor_ >= start_ ? cursor_ - start_ : 0;
+        start_ = 0;
+      }
+    }
+  }
+  if (deep_count_ == 0) return;
+  // Trim the deep store to its own (longer) window. Keep the bracket sample
+  // before t_keep_deep; the store may shrink to a single sample (the row
+  // store continues the timeline).
+  const std::size_t m = deep_times_.size();
+  if (m - deep_start_ >= 2) {
+    const auto dbegin =
+        deep_times_.begin() + static_cast<std::ptrdiff_t>(deep_start_ + 1);
+    const std::size_t first_ge = static_cast<std::size_t>(
+        std::lower_bound(dbegin, deep_times_.end(), t_keep_deep) -
+        deep_times_.begin());
+    const std::size_t new_start = std::min(first_ge - 1, m - 1);
+    if (new_start > deep_start_) deep_start_ = new_start;
+  }
+  if (deep_start_ > 4096 && deep_start_ > deep_times_.size() / 2) {
+    deep_times_.erase(
+        deep_times_.begin(),
+        deep_times_.begin() + static_cast<std::ptrdiff_t>(deep_start_));
+    deep_vals_.erase(deep_vals_.begin(),
+                     deep_vals_.begin() + static_cast<std::ptrdiff_t>(
+                                              deep_start_ * deep_count_));
+    deep_cursor_ = deep_cursor_ >= deep_start_ ? deep_cursor_ - deep_start_ : 0;
+    deep_start_ = 0;
   }
 }
 
@@ -150,6 +310,16 @@ void History::save(SnapshotWriter& w) const {
   w.u64(cursor_ >= start_ ? cursor_ - start_ : 0);
   for (std::size_t i = start_; i < n; ++i) w.f64(times_[i]);
   for (std::size_t i = start_ * dim_; i < n * dim_; ++i) w.f64(states_[i]);
+  // Deep-retention side store (empty unless split retention is active).
+  const std::size_t m = deep_times_.size();
+  w.u64(deep_begin_);
+  w.u64(deep_count_);
+  w.u64(m - deep_start_);
+  w.u64(deep_cursor_ >= deep_start_ ? deep_cursor_ - deep_start_ : 0);
+  for (std::size_t i = deep_start_; i < m; ++i) w.f64(deep_times_[i]);
+  for (std::size_t i = deep_start_ * deep_count_; i < m * deep_count_; ++i) {
+    w.f64(deep_vals_[i]);
+  }
 }
 
 void History::restore(SnapshotReader& r) {
@@ -175,8 +345,36 @@ void History::restore(SnapshotReader& r) {
     times_.push_back(t);
   }
   for (std::uint64_t i = 0; i < n * dim_; ++i) states_.push_back(r.f64());
+  const std::uint64_t deep_begin = r.u64();
+  const std::uint64_t deep_count = r.u64();
+  if (deep_count > 0 && deep_begin + deep_count > dim_) {
+    throw SnapshotError("deep-retention range exceeds history dimension");
+  }
+  const std::uint64_t m = r.u64();
+  const std::uint64_t deep_cursor = r.u64();
+  if (deep_cursor > m) {
+    throw SnapshotError("deep cursor beyond recorded rows");
+  }
+  deep_times_.clear();
+  deep_vals_.clear();
+  prev = 0.0;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const double t = r.f64();
+    if (i > 0 && !(t >= prev)) {
+      throw SnapshotError("deep history times not monotonic (corrupt payload?)");
+    }
+    prev = t;
+    deep_times_.push_back(t);
+  }
+  for (std::uint64_t i = 0; i < m * deep_count; ++i) {
+    deep_vals_.push_back(r.f64());
+  }
   start_ = 0;
   cursor_ = static_cast<std::size_t>(cursor);
+  deep_begin_ = static_cast<std::size_t>(deep_begin);
+  deep_count_ = static_cast<std::size_t>(deep_count);
+  deep_start_ = 0;
+  deep_cursor_ = static_cast<std::size_t>(deep_cursor);
 }
 
 DdeSolver::DdeSolver(const DdeSystem& system, std::vector<double> initial_state,
@@ -195,6 +393,10 @@ DdeSolver::DdeSolver(const DdeSystem& system, std::vector<double> initial_state,
       last_trim_(t0) {
   assert(x_.size() == system_.dim());
   assert(dt_ > 0.0);
+  if (system.max_row_delay() < system.max_delay()) {
+    const auto [first, count] = system.deep_vars();
+    history_.set_deep_retention(first, count);
+  }
   history_.append(t_, x_);
 }
 
@@ -230,9 +432,12 @@ void DdeSolver::commit(double t_new) {
   history_.append(t_, x_);
 
   // Trim history we can never look back into again (keep 2x max delay).
-  const double keep = system_.max_delay() * 2.0 + 10.0 * dt_;
+  // Full rows only need the row-delay window; deep-retained variables keep
+  // the full max_delay() horizon (the two coincide for most systems).
+  const double keep = system_.max_row_delay() * 2.0 + 10.0 * dt_;
   if (t_ - last_trim_ > keep) {
-    history_.trim_before(t_ - keep);
+    const double keep_deep = system_.max_delay() * 2.0 + 10.0 * dt_;
+    history_.trim_before(t_ - keep, t_ - keep_deep);
     last_trim_ = t_;
   }
 }

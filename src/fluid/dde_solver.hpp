@@ -29,6 +29,7 @@
 #include <functional>
 #include <iosfwd>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/diagnostic.hpp"
@@ -64,9 +65,43 @@ class History {
   /// call, append() or trim_before() on this History.
   std::span<const double> values(double t) const;
 
+  /// The contiguous variable block [var_begin, var_begin + var_count) at
+  /// time t — the ranged form of values() for struct-of-arrays state layouts
+  /// where a right-hand side needs one block (e.g. all delayed rates) out of
+  /// a wide row: one history search, var_count interpolations instead of
+  /// dim(). Element j is bit-identical to value(var_begin + j, t). Same
+  /// lifetime rules as values().
+  std::span<const double> values(double t, std::size_t var_begin,
+                                 std::size_t var_count) const;
+
+  /// One variable at many (arbitrary, possibly unsorted) times:
+  /// out[i] = value(var, times[i]), bit-identical to per-query value()
+  /// calls. A query equal to its predecessor is served from the previous
+  /// result without a new search — the dominant case for per-flow delayed
+  /// lookups in symmetric many-flow runs, where every flow asks for the
+  /// same delayed instant.
+  void values_at(std::size_t var, std::span<const double> times,
+                 std::span<double> out) const;
+
+  /// Enable split retention: trim_before(t_keep, t_keep_deep) then keeps
+  /// full state rows back to t_keep only, while preserving the variables
+  /// [var_begin, var_begin + var_count) in a narrow side store back to
+  /// t_keep_deep. For wide systems whose long-delay reads touch few
+  /// variables (TIMELY at 10k flows: 20k-wide rows, queue-only lookbacks of
+  /// milliseconds) this is the difference between megabytes and gigabytes
+  /// of retained history. Lookups into the deep window interpolate the same
+  /// recorded samples and are bit-identical to an untrimmed History.
+  /// Must be called before the first append().
+  void set_deep_retention(std::size_t var_begin, std::size_t var_count);
+
   /// Drop history strictly older than t_keep (ring-buffer style trimming so
   /// long runs don't grow unboundedly). Keeps at least two points.
   void trim_before(double t_keep);
+
+  /// Split-retention trim: full rows back to t_keep_rows, deep-retained
+  /// variables back to t_keep_deep (<= t_keep_rows). Equivalent to
+  /// trim_before(t_keep_rows) when set_deep_retention was never called.
+  void trim_before(double t_keep_rows, double t_keep_deep);
 
   /// Serialize the live window [start_, size) into `w` (the dead prefix is
   /// compacted away; the cursor hint is rebased so a restored History answers
@@ -77,9 +112,29 @@ class History {
   void restore(SnapshotReader& r);
 
  private:
-  /// First index in (start_, size) with times_[i] >= t. Precondition:
-  /// times_[start_] < t < times_.back(). Maintains the cursor hint.
-  std::size_t locate(double t) const;
+  /// First index in (start, size) with times[i] >= t, walking forward from
+  /// the cursor hint when possible. Precondition:
+  /// times[start] < t <= times.back(). Updates the cursor.
+  static std::size_t locate_in(const std::vector<double>& times,
+                               std::size_t start, std::size_t& cursor,
+                               double t);
+  /// locate_in over the full-row store.
+  std::size_t locate(double t) const {
+    return locate_in(times_, start_, cursor_, t);
+  }
+  bool deep_covers(std::size_t var) const {
+    return deep_count_ > 0 && var >= deep_begin_ &&
+           var - deep_begin_ < deep_count_;
+  }
+  /// Interpolated deep-store read. Preconditions: deep_covers(var), the deep
+  /// store is non-empty, and deep_first < t <= times_[start_] (queries past
+  /// the row-store start bridge across the boundary sample pair).
+  double deep_value(std::size_t var, double t) const;
+  /// Batch-path fallback for t at/below the row-store start when the
+  /// requested range intersects the deep store: per-variable reads into
+  /// batch_buf_, each matching value() bit for bit.
+  std::span<const double> deep_clamped_range(double t, std::size_t var_begin,
+                                             std::size_t var_count) const;
 
   std::size_t dim_;
   std::vector<double> times_;
@@ -87,6 +142,17 @@ class History {
   std::size_t start_ = 0;       // logical start after trimming
   mutable std::size_t cursor_ = 0;          // last interpolation bracket (hi)
   mutable std::vector<double> batch_buf_;   // scratch row for values()
+
+  // Deep-retention side store (set_deep_retention): samples of variables
+  // [deep_begin_, deep_begin_ + deep_count_) for times strictly older than
+  // times_[start_], contiguous with the row store (its last sample is the
+  // row dropped most recently).
+  std::size_t deep_begin_ = 0;
+  std::size_t deep_count_ = 0;  // 0 = split retention disabled
+  std::vector<double> deep_times_;
+  std::vector<double> deep_vals_;  // row-major: [i * deep_count_ + col]
+  std::size_t deep_start_ = 0;
+  mutable std::size_t deep_cursor_ = 0;
 };
 
 /// A delayed dynamical system dx/dt = f(t, x(t), history).
@@ -108,6 +174,22 @@ class DdeSystem {
   /// Largest delay the rhs ever looks back by; the solver keeps at least this
   /// much history (plus slack).
   virtual double max_delay() const = 0;
+
+  /// Largest delay at which the rhs reads variables *outside* deep_vars():
+  /// the solver only retains complete state rows this far back, and keeps
+  /// just the deep_vars() block out to the full max_delay(). Defaults to
+  /// max_delay() (retain full rows for the whole horizon). Systems whose
+  /// long-delay terms touch few variables (TIMELY: millisecond queue
+  /// lookbacks against a 2N+1-wide state) override this with the short
+  /// horizon — at 10k+ flows the row window is the entire memory footprint.
+  virtual double max_row_delay() const { return max_delay(); }
+
+  /// Contiguous variable range [first, count] still readable back to the
+  /// full max_delay() horizon. Only consulted when max_row_delay() is
+  /// shorter than max_delay().
+  virtual std::pair<std::size_t, std::size_t> deep_vars() const {
+    return {0, dim()};
+  }
 };
 
 /// Fixed-step RK4 driver over a DdeSystem.

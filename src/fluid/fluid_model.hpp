@@ -59,9 +59,40 @@ struct FluidRun {
 /// Integrate `model` from its initial state to `duration` seconds, sampling
 /// every `sample_interval` seconds. `initial_override`, when non-empty,
 /// replaces the model's default initial state (used by the unequal-start
-/// experiments of Figures 9 and 12).
+/// experiments of Figures 9 and 12); a non-empty override whose length does
+/// not match model.dim() throws InvariantViolation.
 FluidRun simulate(const FluidModel& model, double duration,
                   double sample_interval,
                   std::vector<double> initial_override = {});
+
+/// Aggregate observables of a many-flow run: the queue plus summary
+/// statistics of the per-flow rate distribution. Sampling a 10k-flow model
+/// this way allocates five TimeSeries instead of 10k; each sample is an
+/// exact (bitwise) reduction of the per-flow values simulate() would have
+/// recorded, in flow order.
+struct FluidAggregateRun {
+  TimeSeries queue_bytes;
+  TimeSeries sum_rate_gbps;
+  TimeSeries min_rate_gbps;
+  TimeSeries max_rate_gbps;
+  TimeSeries jain_fairness;  ///< (sum r)^2 / (N sum r^2); 1 = perfectly fair
+};
+
+/// simulate() with aggregate sampling. `dt_override`, when positive,
+/// replaces model.suggested_dt() — large-N sweeps and benches trade step
+/// resolution for wall clock (the step must stay below the model's minimum
+/// feedback delay for the delayed lookups to remain interior).
+FluidAggregateRun simulate_aggregates(const FluidModel& model, double duration,
+                                      double sample_interval,
+                                      std::vector<double> initial_override = {},
+                                      double dt_override = 0.0);
+
+/// Shared constructor-time feasibility check for the models' per-flow rate
+/// floors: with N flows each clamped to at least `min_rate_pps`, demand can
+/// never drop below N * min_rate_pps — if that exceeds the link capacity the
+/// queue grows without bound and every trajectory is unphysical. Throws
+/// InvariantViolation naming the largest feasible N.
+void require_min_rate_feasible(const char* component, int num_flows,
+                               double min_rate_pps, double capacity_pps);
 
 }  // namespace ecnd::fluid

@@ -7,7 +7,9 @@
 namespace ecnd::fluid {
 namespace {
 
-constexpr double kMinRatePps = 1250.0;  // 10 Mb/s at 1000B MTU
+// The PI variant shares the base TIMELY floors and caps.
+constexpr double kMinRatePps = TimelyFluidBase::kMinRatePps;
+constexpr double kQueueCapFactor = TimelyFluidBase::kQueueCapFactor;
 
 }  // namespace
 
@@ -49,15 +51,27 @@ void DcqcnPiFluidModel::rhs(double t, std::span<const double> x,
   dxdt[marking_index()] = dp;
 
   // Senders receive the *delayed* controller output, exactly as they
-  // received the delayed RED marking probability before. One batch lookup
-  // serves the marking state and every flow's delayed rate.
-  const std::span<const double> delayed = past.values(t_delayed);
-  const double p_delayed = std::clamp(delayed[marking_index()], 0.0, 1.0);
+  // received the delayed RED marking probability before. Two history
+  // searches serve the marking state and the contiguous delayed rate block.
+  const double p_raw = past.value(marking_index(), t_delayed);
+  const std::span<const double> rc_delayed =
+      past.values(t_delayed, rate_index(0), nflows());
+  const double p_delayed = std::clamp(p_raw, 0.0, 1.0);
   const auto shared = flow_dynamics_.make_marking_shared(p_delayed);
+  // One-entry memo over the delayed rate, as in DcqcnFluidModel::rhs.
+  DcqcnFluidModel::RateShared rate_shared{};
+  double rate_shared_key = 0.0;
+  bool have_rate_shared = false;
   for (int i = 0; i < P.num_flows; ++i) {
-    const DcqcnFluidModel::FlowDerivatives d = flow_dynamics_.flow_rhs_shared(
+    const double rcd_i = rc_delayed[static_cast<std::size_t>(i)];
+    if (!have_rate_shared || rcd_i != rate_shared_key) {
+      rate_shared = flow_dynamics_.make_rate_shared(shared, rcd_i);
+      rate_shared_key = rcd_i;
+      have_rate_shared = true;
+    }
+    const DcqcnFluidModel::FlowDerivatives d = flow_dynamics_.flow_rhs_from(
         x[alpha_index(i)], x[target_rate_index(i)], x[rate_index(i)], shared,
-        delayed[rate_index(i)]);
+        rate_shared);
     dxdt[alpha_index(i)] = d.dalpha;
     dxdt[target_rate_index(i)] = d.dtarget;
     dxdt[rate_index(i)] = d.drate;
@@ -66,12 +80,13 @@ void DcqcnPiFluidModel::rhs(double t, std::span<const double> x,
 
 void DcqcnPiFluidModel::clamp(std::span<double> x) const {
   const double line = params_.capacity_pps();
+  const double floor = DcqcnFluidModel::kMinRatePps;
   x[queue_index()] = std::max(0.0, x[queue_index()]);
   x[marking_index()] = std::clamp(x[marking_index()], 0.0, 1.0);
   for (int i = 0; i < params_.num_flows; ++i) {
     x[alpha_index(i)] = std::clamp(x[alpha_index(i)], 0.0, 1.0);
-    x[target_rate_index(i)] = std::clamp(x[target_rate_index(i)], 125.0, line);
-    x[rate_index(i)] = std::clamp(x[rate_index(i)], 125.0, line);
+    x[target_rate_index(i)] = std::clamp(x[target_rate_index(i)], floor, line);
+    x[rate_index(i)] = std::clamp(x[rate_index(i)], floor, line);
   }
 }
 
@@ -80,6 +95,8 @@ PatchedTimelyPiFluidModel::PatchedTimelyPiFluidModel(TimelyFluidParams params,
     : params_(params), pi_(pi) {
   assert(pi_.qref_pkts > params_.qlow_pkts());
   assert(pi_.qref_pkts < params_.qhigh_pkts());
+  require_min_rate_feasible("PatchedTimelyPiFluidModel", params_.num_flows,
+                            kMinRatePps, params_.capacity_pps());
 }
 
 std::vector<double> PatchedTimelyPiFluidModel::initial_state() const {
@@ -107,11 +124,18 @@ double PatchedTimelyPiFluidModel::feedback_delay(double q_pkts) const {
 
 double PatchedTimelyPiFluidModel::max_delay() const {
   const double max_tau_prime =
-      4.0 * params_.qhigh_pkts() / params_.capacity_pps() +
+      kQueueCapFactor * params_.qhigh_pkts() / params_.capacity_pps() +
       params_.base_feedback_delay();
   const double max_tau_star =
       std::max(params_.segment_pkts() / kMinRatePps, params_.d_min_rtt);
   return max_tau_prime + max_tau_star + params_.feedback_jitter.amplitude();
+}
+
+double PatchedTimelyPiFluidModel::max_row_delay() const {
+  // The clamp() queue cap bounds tau' at evaluation time; rates are never
+  // read back further than that.
+  return kQueueCapFactor * params_.qhigh_pkts() / params_.capacity_pps() +
+         params_.base_feedback_delay() + params_.feedback_jitter.amplitude();
 }
 
 void PatchedTimelyPiFluidModel::rhs(double t, std::span<const double> x,
@@ -128,15 +152,17 @@ void PatchedTimelyPiFluidModel::rhs(double t, std::span<const double> x,
   dxdt[queue_index()] = dq;
 
   const double tau_prime = feedback_delay(q);
-  // One batch lookup serves the delayed queue and every delayed rate below.
-  const std::span<const double> delayed = past.values(t - tau_prime);
-  const double q_hat = delayed[queue_index()];
+  // Two history searches serve the delayed queue and the contiguous delayed
+  // rate block (the second reuses the cursor the first warmed).
+  const double q_hat = past.value(queue_index(), t - tau_prime);
+  const std::span<const double> rates_delayed =
+      past.values(t - tau_prime, rate_index(0), nflows());
 
   // Rate of change of the delayed observation: the queue law evaluated on
   // delayed rates (gated the same way the queue itself is).
   double sum_r_delayed = 0.0;
   for (int i = 0; i < P.num_flows; ++i) {
-    sum_r_delayed += delayed[rate_index(i)];
+    sum_r_delayed += rates_delayed[static_cast<std::size_t>(i)];
   }
   double dq_hat = sum_r_delayed - C;
   if (q_hat <= 0.0 && dq_hat < 0.0) dq_hat = 0.0;
@@ -144,14 +170,25 @@ void PatchedTimelyPiFluidModel::rhs(double t, std::span<const double> x,
   const double error = (q_hat - pi_.qref_pkts) / pi_.qref_pkts;
   const double derror = dq_hat / pi_.qref_pkts;
 
+  // Batched per-flow gradient lookups, as in the base model.
+  const std::size_t n = nflows();
+  tau_star_buf_.resize(n);
+  lookup_times_.resize(n);
+  lookup_vals_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    tau_star_buf_[j] = update_interval(x[rate_index(static_cast<int>(j))]);
+    lookup_times_[j] = t - tau_prime - tau_star_buf_[j];
+  }
+  past.values_at(queue_index(), lookup_times_, lookup_vals_);
+
   for (int i = 0; i < P.num_flows; ++i) {
     const double rate = x[rate_index(i)];
     const double grad = x[gradient_index(i)];
     const double p = x[pi_state_index(i)];
-    const double tau_star = update_interval(rate);
+    const double tau_star = tau_star_buf_[static_cast<std::size_t>(i)];
 
     // Gradient EWMA (Equation 22), as in the base model.
-    const double q_prev = past.value(queue_index(), t - tau_prime - tau_star);
+    const double q_prev = lookup_vals_[static_cast<std::size_t>(i)];
     const double normalized = (q_hat - q_prev) / (C * P.d_min_rtt);
     dxdt[gradient_index(i)] = P.alpha_ewma / tau_star * (-grad + normalized);
 

@@ -28,9 +28,10 @@ struct PiControllerParams {
   double k_i = 0.004;       ///< integral gain (per packet of error, per second)
 };
 
-/// DCQCN with PI marking at the switch. State layout:
+/// DCQCN with PI marking at the switch. State layout (struct-of-arrays like
+/// DcqcnFluidModel):
 ///   x[0] = q, x[1] = p (marking probability, now a controller state),
-///   then per flow (alpha, Rt, Rc) as in DcqcnFluidModel.
+///   x[2 + i] = alpha_i, x[2 + N + i] = Rt_i, x[2 + 2N + i] = Rc_i.
 class DcqcnPiFluidModel final : public FluidModel {
  public:
   DcqcnPiFluidModel(DcqcnFluidParams params, PiControllerParams pi);
@@ -42,13 +43,13 @@ class DcqcnPiFluidModel final : public FluidModel {
   std::size_t queue_index() const override { return 0; }
   std::size_t marking_index() const { return 1; }
   std::size_t alpha_index(int flow) const {
-    return 2 + 3 * static_cast<std::size_t>(flow);
+    return 2 + static_cast<std::size_t>(flow);
   }
   std::size_t target_rate_index(int flow) const {
-    return 2 + 3 * static_cast<std::size_t>(flow) + 1;
+    return 2 + nflows() + static_cast<std::size_t>(flow);
   }
   std::size_t rate_index(int flow) const override {
-    return 2 + 3 * static_cast<std::size_t>(flow) + 2;
+    return 2 + 2 * nflows() + static_cast<std::size_t>(flow);
   }
 
   std::vector<double> initial_state() const override;
@@ -65,6 +66,10 @@ class DcqcnPiFluidModel final : public FluidModel {
   double max_delay() const override { return flow_dynamics_.max_delay(); }
 
  private:
+  std::size_t nflows() const {
+    return static_cast<std::size_t>(params_.num_flows);
+  }
+
   DcqcnFluidParams params_;
   PiControllerParams pi_;
   DcqcnFluidModel flow_dynamics_;  ///< reused for the per-flow RP equations
@@ -77,8 +82,9 @@ struct TimelyPiParams {
 };
 
 /// Patched TIMELY where the end host derives the feedback p_i from a local
-/// PI controller over its delayed queue observation. State layout:
-///   x[0] = q, then per flow (R_i, g_i, p_i).
+/// PI controller over its delayed queue observation. State layout
+/// (struct-of-arrays like the base model):
+///   x[0] = q, x[1 + i] = R_i, x[1 + N + i] = g_i, x[1 + 2N + i] = p_i.
 class PatchedTimelyPiFluidModel final : public FluidModel {
  public:
   PatchedTimelyPiFluidModel(TimelyFluidParams params, TimelyPiParams pi);
@@ -89,13 +95,13 @@ class PatchedTimelyPiFluidModel final : public FluidModel {
   int num_flows() const override { return params_.num_flows; }
   std::size_t queue_index() const override { return 0; }
   std::size_t rate_index(int flow) const override {
-    return 1 + 3 * static_cast<std::size_t>(flow);
+    return 1 + static_cast<std::size_t>(flow);
   }
   std::size_t gradient_index(int flow) const {
-    return 1 + 3 * static_cast<std::size_t>(flow) + 1;
+    return 1 + nflows() + static_cast<std::size_t>(flow);
   }
   std::size_t pi_state_index(int flow) const {
-    return 1 + 3 * static_cast<std::size_t>(flow) + 2;
+    return 1 + 2 * nflows() + static_cast<std::size_t>(flow);
   }
 
   std::vector<double> initial_state() const override;
@@ -110,13 +116,28 @@ class PatchedTimelyPiFluidModel final : public FluidModel {
            std::span<double> dxdt) const override;
   void clamp(std::span<double> x) const override;
   double max_delay() const override;
+  /// Rates are read back at most tau' (the PI error term); only the
+  /// gradient's older queue sample reaches tau' + tau*, so the queue alone
+  /// needs deep retention.
+  double max_row_delay() const override;
+  std::pair<std::size_t, std::size_t> deep_vars() const override {
+    return {queue_index(), 1};
+  }
 
  private:
+  std::size_t nflows() const {
+    return static_cast<std::size_t>(params_.num_flows);
+  }
   double update_interval(double rate_pps) const;
   double feedback_delay(double q_pkts) const;
 
   TimelyFluidParams params_;
   TimelyPiParams pi_;
+  // Scratch for the batched per-flow delayed queue lookups (single-threaded
+  // per solver, like the base model's).
+  mutable std::vector<double> tau_star_buf_;
+  mutable std::vector<double> lookup_times_;
+  mutable std::vector<double> lookup_vals_;
 };
 
 }  // namespace ecnd::fluid

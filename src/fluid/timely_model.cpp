@@ -5,24 +5,13 @@
 #include <cmath>
 
 namespace ecnd::fluid {
-namespace {
-
-// Rates are clamped to >= 10 Mb/s equivalents: TIMELY's additive increase is
-// 10 Mb/s per update, so lower rates are instantaneous transients, and the
-// clamp bounds tau* = Seg/R (and with it the history the solver must keep).
-constexpr double kMinRatePps = 1250.0;  // 10 Mb/s at 1000B MTU
-
-// The fluid queue is capped at 4x the T_high threshold; TIMELY's
-// multiplicative decrease beyond T_high makes larger excursions unphysical,
-// and the cap bounds the state-dependent feedback delay tau'(q).
-constexpr double kQueueCapFactor = 4.0;
-
-}  // namespace
 
 TimelyFluidBase::TimelyFluidBase(TimelyFluidParams params) : params_(params) {
   assert(params_.num_flows >= 1);
   assert(params_.t_high > params_.t_low);
   assert(params_.d_min_rtt > 0.0);
+  require_min_rate_feasible("TimelyFluidBase", params_.num_flows, kMinRatePps,
+                            params_.capacity_pps());
 }
 
 std::vector<double> TimelyFluidBase::initial_state() const {
@@ -72,32 +61,42 @@ double TimelyFluidBase::feedback_delay(double q_pkts) const {
   return q_pkts / params_.capacity_pps() + params_.base_feedback_delay();
 }
 
-double TimelyFluidBase::measured_queue(double t, double q_now,
-                                       const History& past) const {
-  const double jitter = params_.feedback_jitter.value(t);
-  const double tau_prime = feedback_delay(q_now) + jitter;
-  const double sample = past.value(queue_index(), t - tau_prime);
+TimelyFluidBase::MeasuredQueue TimelyFluidBase::measured_queue(
+    double t, double q_now, const History& past) const {
+  MeasuredQueue mq{};
+  mq.jitter = params_.feedback_jitter.value(t);
+  mq.tau_prime = feedback_delay(q_now) + mq.jitter;
+  const double sample = past.value(queue_index(), t - mq.tau_prime);
   // Reverse-path jitter shows up as extra apparent queueing delay.
-  return sample + jitter * params_.capacity_pps();
+  mq.q_hat = sample + mq.jitter * params_.capacity_pps();
+  return mq;
 }
 
 void TimelyFluidBase::gradient_rhs(double t, std::span<const double> x,
                                    const History& past,
+                                   const MeasuredQueue& mq,
                                    std::span<double> dxdt) const {
   // Equation 22. The two queue samples that form the gradient are one rate-
   // update interval apart; both are read through the measured-queue lens so
   // jitter perturbs the *difference* (the paper's "noisy feedback" effect).
-  const double q_now = x[queue_index()];
-  const double jitter = params_.feedback_jitter.value(t);
-  const double tau_prime = feedback_delay(q_now) + jitter;
-  const double q_recent = past.value(queue_index(), t - tau_prime) +
-                          jitter * params_.capacity_pps();
+  // The recent sample is exactly the q_hat the rate branches use.
+  const double q_recent = mq.q_hat;
+  const std::size_t n = nflows();
+  tau_star_buf_.resize(n);
+  lookup_times_.resize(n);
+  lookup_vals_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tau_star_buf_[i] = update_interval(x[rate_index(static_cast<int>(i))]);
+    lookup_times_[i] = t - mq.tau_prime - tau_star_buf_[i];
+  }
+  // Batched per-flow lookups: flows with bitwise-equal rates (the symmetric
+  // many-flow case) share one history search.
+  past.values_at(queue_index(), lookup_times_, lookup_vals_);
   for (int i = 0; i < params_.num_flows; ++i) {
-    const double tau_star = update_interval(x[rate_index(i)]);
+    const double tau_star = tau_star_buf_[static_cast<std::size_t>(i)];
     const double jitter_prev = params_.feedback_jitter.value(t - tau_star);
-    const double q_prev =
-        past.value(queue_index(), t - tau_prime - tau_star) +
-        jitter_prev * params_.capacity_pps();
+    const double q_prev = lookup_vals_[static_cast<std::size_t>(i)] +
+                          jitter_prev * params_.capacity_pps();
     const double normalized = (q_recent - q_prev) /
                               (params_.capacity_pps() * params_.d_min_rtt);
     dxdt[gradient_index(i)] = params_.alpha_ewma / tau_star *
@@ -117,9 +116,12 @@ void TimelyFluidModel::rhs(double t, std::span<const double> x,
   if (q <= 0.0 && dq < 0.0) dq = 0.0;
   dxdt[queue_index()] = dq;
 
-  gradient_rhs(t, x, past, dxdt);
+  // One measured-queue evaluation serves the gradient EWMA and every rate
+  // branch below (bit-identical to the former per-use recomputation).
+  const MeasuredQueue mq = measured_queue(t, q, past);
+  gradient_rhs(t, x, past, mq, dxdt);
 
-  const double q_hat = measured_queue(t, q, past);
+  const double q_hat = mq.q_hat;
   for (int i = 0; i < P.num_flows; ++i) {
     const double rate = x[rate_index(i)];
     const double grad = x[gradient_index(i)];
@@ -172,9 +174,10 @@ void PatchedTimelyFluidModel::rhs(double t, std::span<const double> x,
   if (q <= 0.0 && dq < 0.0) dq = 0.0;
   dxdt[queue_index()] = dq;
 
-  gradient_rhs(t, x, past, dxdt);
+  const MeasuredQueue mq = measured_queue(t, q, past);
+  gradient_rhs(t, x, past, mq, dxdt);
 
-  const double q_hat = measured_queue(t, q, past);
+  const double q_hat = mq.q_hat;
   const double qref = qref_pkts();
   for (int i = 0; i < P.num_flows; ++i) {
     const double rate = x[rate_index(i)];

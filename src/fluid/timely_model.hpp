@@ -2,10 +2,11 @@
 // TIMELY fluid models — paper Figure 7 (Equations 20-24), the Equation-28
 // strict-gradient variant, and Patched TIMELY (Equations 29-30).
 //
-// State vector layout (packet units):
-//   x[0]            q    bottleneck queue (packets)
-//   x[1 + 2i + 0]   R_i  per-flow rate (packets/s)
-//   x[1 + 2i + 1]   g_i  per-flow normalized RTT gradient (dimensionless)
+// State vector layout (packet units), struct-of-arrays per variable so each
+// per-flow block is contiguous (see DESIGN.md):
+//   x[0]          q    bottleneck queue (packets)
+//   x[1 + i]      R_i  per-flow rate (packets/s)
+//   x[1 + N + i]  g_i  per-flow normalized RTT gradient (dimensionless)
 //
 // Dynamics:
 //   Eq 20: dq/dt  = sum_i R_i - C                         (clamped q >= 0)
@@ -68,6 +69,19 @@ struct TimelyFluidParams {
 /// Shared machinery of the original and patched models.
 class TimelyFluidBase : public FluidModel {
  public:
+  /// Rate floor (10 Mb/s at 1000B MTU): TIMELY's additive increase is
+  /// 10 Mb/s per update, so lower rates are instantaneous transients, and
+  /// the floor bounds tau* = Seg/R (and with it the history the solver must
+  /// keep).
+  static constexpr double kMinRatePps = 1250.0;
+  /// The fluid queue is capped at this multiple of the T_high threshold;
+  /// TIMELY's multiplicative decrease beyond T_high makes larger excursions
+  /// unphysical, and the cap bounds the state-dependent feedback delay
+  /// tau'(q).
+  static constexpr double kQueueCapFactor = 4.0;
+
+  /// Throws InvariantViolation when num_flows * kMinRatePps exceeds the link
+  /// capacity (the rate floor would pin demand above capacity forever).
   explicit TimelyFluidBase(TimelyFluidParams params);
 
   const TimelyFluidParams& params() const { return params_; }
@@ -75,10 +89,10 @@ class TimelyFluidBase : public FluidModel {
   int num_flows() const override { return params_.num_flows; }
   std::size_t queue_index() const override { return 0; }
   std::size_t rate_index(int flow) const override {
-    return 1 + 2 * static_cast<std::size_t>(flow);
+    return 1 + static_cast<std::size_t>(flow);
   }
   std::size_t gradient_index(int flow) const {
-    return 1 + 2 * static_cast<std::size_t>(flow) + 1;
+    return 1 + nflows() + static_cast<std::size_t>(flow);
   }
   std::vector<double> initial_state() const override;
   double suggested_dt() const override;
@@ -90,6 +104,15 @@ class TimelyFluidBase : public FluidModel {
   }
   void clamp(std::span<double> x) const override;
   double max_delay() const override;
+  /// Only the queue is ever read at the long tau' + tau* horizon; rates and
+  /// gradients never enter the delayed terms, so the solver needs full rows
+  /// just for its own stage-time bracketing. At 10k flows this shrinks
+  /// retained history from gigabytes (2N+1-wide rows over ~30ms) to a
+  /// queue-only side store.
+  double max_row_delay() const override { return 0.0; }
+  std::pair<std::size_t, std::size_t> deep_vars() const override {
+    return {queue_index(), 1};
+  }
 
   /// Rate-update interval tau*_i (Equation 23).
   double update_interval(double rate_pps) const;
@@ -97,14 +120,31 @@ class TimelyFluidBase : public FluidModel {
   double feedback_delay(double q_pkts) const;
 
  protected:
-  /// Measured queue sample q_hat(t) as seen by a sender at time t: the queue
-  /// tau' (+ jitter) ago, plus jitter expressed in queue-equivalents.
-  double measured_queue(double t, double q_now, const History& past) const;
+  std::size_t nflows() const {
+    return static_cast<std::size_t>(params_.num_flows);
+  }
+
+  /// Measured-queue lens shared by the gradient EWMA and the rate branches
+  /// (previously recomputed by each): the jitter draw, the state-dependent
+  /// feedback delay, and the delayed sample q_hat(t) = q(t - tau') + J(t)*C
+  /// as seen by a sender at time t.
+  struct MeasuredQueue {
+    double jitter;     ///< J(t)
+    double tau_prime;  ///< feedback_delay(q_now) + J(t)
+    double q_hat;      ///< q(t - tau') + J(t) * C
+  };
+  MeasuredQueue measured_queue(double t, double q_now,
+                               const History& past) const;
 
   void gradient_rhs(double t, std::span<const double> x, const History& past,
-                    std::span<double> dxdt) const;
+                    const MeasuredQueue& mq, std::span<double> dxdt) const;
 
   TimelyFluidParams params_;
+  // Scratch for the batched per-flow delayed queue lookups; models are
+  // driven single-threaded per solver (like History's own lookup scratch).
+  mutable std::vector<double> tau_star_buf_;
+  mutable std::vector<double> lookup_times_;
+  mutable std::vector<double> lookup_vals_;
 };
 
 /// Original TIMELY (Algorithm 1 / Equation 21, optionally Equation 28).

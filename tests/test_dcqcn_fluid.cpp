@@ -208,5 +208,71 @@ TEST_P(DcqcnFixedPointSweep, Equation14ApproximatesPStar) {
 INSTANTIATE_TEST_SUITE_P(FlowCounts, DcqcnFixedPointSweep,
                          ::testing::Values(2, 4, 8, 10, 16, 32, 64));
 
+TEST(DcqcnFluid, RhsMemoMatchesPerFlowEvaluation) {
+  // rhs() keys a one-entry memo of the shared transcendental block on the
+  // exact bits of each flow's delayed rate. With flows 1 and 2 bitwise equal
+  // and flows 0 and 3 distinct (hit and miss paths both exercised), every
+  // derivative must equal an independent flow_rhs() evaluation bit for bit.
+  DcqcnFluidParams p;
+  p.num_flows = 4;
+  DcqcnFluidModel m(p);
+  History h(m.dim());
+  std::vector<double> row(m.dim(), 0.0);
+  auto fill = [&](double q, double r0, double r1, double r2, double r3) {
+    row[m.queue_index()] = q;
+    const double rates[4] = {r0, r1, r2, r3};
+    for (int i = 0; i < 4; ++i) {
+      row[m.alpha_index(i)] = 0.2 + 0.1 * i;
+      row[m.target_rate_index(i)] = 0.9 * p.capacity_pps();
+      row[m.rate_index(i)] = rates[i];
+    }
+  };
+  // Kmin = 40 pkts: keep q in the marking band so p_delayed is interior.
+  fill(80.0, 3e5, 5e5, 5e5, 1e5);
+  h.append(0.0, row);
+  fill(120.0, 4e5, 5e5, 5e5, 2e5);
+  h.append(1e-5, row);
+
+  const double t = 1e-5;  // t - delay = 6e-6, interior
+  std::vector<double> x(row), dxdt(m.dim(), 0.0);
+  m.rhs(t, x, h, dxdt);
+
+  const double t_delayed = t - p.feedback_delay;
+  const double p_delayed =
+      m.marking_probability(h.value(m.queue_index(), t_delayed));
+  for (int i = 0; i < 4; ++i) {
+    const double rcd = h.value(m.rate_index(i), t_delayed);
+    const auto d = m.flow_rhs(x[m.alpha_index(i)], x[m.target_rate_index(i)],
+                              x[m.rate_index(i)], p_delayed, rcd);
+    EXPECT_EQ(dxdt[m.alpha_index(i)], d.dalpha) << "flow " << i;
+    EXPECT_EQ(dxdt[m.target_rate_index(i)], d.dtarget) << "flow " << i;
+    EXPECT_EQ(dxdt[m.rate_index(i)], d.drate) << "flow " << i;
+  }
+}
+
+TEST(DcqcnFluid, GoldenTrajectoryPin) {
+  // 17-digit pins recorded from the pre-SoA (interleaved-layout) engine: the
+  // struct-of-arrays restructuring, the shared transcendental memo, and the
+  // ranged history lookups must all be bit-neutral. Any EXPECT_EQ failure
+  // here means a floating-point expression changed shape, not just layout.
+  DcqcnFluidParams p;
+  p.num_flows = 3;
+  DcqcnFluidModel m(p);
+  auto x0 = m.initial_state();
+  x0[m.rate_index(0)] = 0.7 * p.capacity_pps();
+  x0[m.rate_index(1)] = 0.2 * p.capacity_pps();
+  x0[m.rate_index(2)] = 0.1 * p.capacity_pps();
+  x0[m.alpha_index(1)] = 0.5;
+  x0[m.target_rate_index(2)] = 0.6 * p.capacity_pps();
+  DdeSolver solver(m, std::move(x0), 0.0, m.suggested_dt());
+  solver.run_until(2e-3, nullptr, 0.0);
+  const auto x = solver.state();
+  EXPECT_EQ(solver.time(), 0.002);
+  EXPECT_EQ(x[m.queue_index()], 0.0);
+  EXPECT_EQ(x[m.rate_index(0)], 332164.58844632964);
+  EXPECT_EQ(x[m.rate_index(1)], 529594.67821680859);
+  EXPECT_EQ(x[m.rate_index(2)], 254675.56349286024);
+}
+
 }  // namespace
 }  // namespace ecnd::fluid

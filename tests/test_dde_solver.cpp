@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 namespace ecnd::fluid {
 namespace {
@@ -322,6 +323,161 @@ TEST(DdeSolver, LongHorizonStepAndSampleCountsExact) {
   EXPECT_NEAR(solver.time(), 1e4, 1e-6);
   EXPECT_NEAR(min_spacing, 1.0, 1e-9);
   EXPECT_NEAR(max_spacing, 1.0, 1e-9);
+}
+
+TEST(History, RangedValuesMatchPerVariableLookups) {
+  History h(4);
+  const double rows[4][4] = {{1.0, 10.0, -5.0, 2.5},
+                             {2.0, 30.0, -6.0, 7.5},
+                             {8.0, 20.0, -9.0, 1.5},
+                             {4.0, 40.0, -1.0, 9.5}};
+  for (int i = 0; i < 4; ++i) h.append(i * 0.25, rows[i]);
+  // Every contiguous sub-range, at interior, exact-sample, and clamped
+  // times: the ranged overload must agree bit-for-bit with value().
+  for (const double t : {-1.0, 0.0, 0.1, 0.25, 0.3, 0.62, 0.75, 0.9, 2.0}) {
+    for (std::size_t begin = 0; begin < 4; ++begin) {
+      for (std::size_t count = 1; begin + count <= 4; ++count) {
+        const std::span<const double> slice = h.values(t, begin, count);
+        ASSERT_EQ(slice.size(), count);
+        for (std::size_t j = 0; j < count; ++j) {
+          EXPECT_EQ(slice[j], h.value(begin + j, t))
+              << "t=" << t << " begin=" << begin << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(History, ValuesAtMatchesPerQueryLookups) {
+  History h(2);
+  for (int i = 0; i <= 200; ++i) {
+    const double row[2] = {0.3 * i, 100.0 - 0.7 * i};
+    h.append(i * 1e-3, row);
+  }
+  // Unsorted queries with duplicates (the TIMELY symmetric-run pattern:
+  // many flows asking for the same delayed time) and clamped ends. The
+  // batch must agree bit-for-bit with one value() per query.
+  const std::vector<double> times = {0.05,  0.0503, 0.0503, 0.0503, 0.12,
+                                     0.003, 0.003,  0.1999, 0.25,   -0.1,
+                                     0.1,   0.1,    0.0999, 0.1};
+  std::vector<double> out(times.size());
+  for (std::size_t var = 0; var < 2; ++var) {
+    h.values_at(var, times, out);
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      EXPECT_EQ(out[i], h.value(var, times[i])) << "var=" << var << " i=" << i;
+    }
+  }
+}
+
+TEST(History, DeepRetentionMatchesUntrimmedReference) {
+  // Two identical histories; one keeps full rows only for a recent window
+  // and var 0 in the deep side store. Deep-covered lookups — interior,
+  // exactly on a sample, exactly on the rows boundary, and inside the
+  // bridge between the deep store and the first surviving row — must be
+  // bit-identical to the untrimmed reference.
+  History deep(2);
+  deep.set_deep_retention(0, 1);
+  History ref(2);
+  auto extend = [&](History& h, int from, int to) {
+    for (int i = from; i <= to; ++i) {
+      const double row[2] = {0.37 * i * i, -2.0 * i};
+      h.append(i * 1e-3, row);
+    }
+  };
+  extend(deep, 0, 1000);
+  extend(ref, 0, 1000);
+  deep.trim_before(0.9, 0.2);  // rows >= 0.9, deep var >= 0.2
+  for (const double t : {0.2, 0.2004, 0.45, 0.5995, 0.731, 0.8999, 0.9,
+                         0.9001, 0.95, 1.0}) {
+    EXPECT_EQ(deep.value(0, t), ref.value(0, t)) << "t=" << t;
+  }
+  // Below the deep window the lookup clamps to the kept deep start (the
+  // bracket sample at t = 0.199).
+  EXPECT_EQ(deep.value(0, 0.0), deep.value(0, 0.199));
+  // The rows-only variable behaves like a plain trimmed history: clamped to
+  // the first surviving row (t = 0.899).
+  EXPECT_EQ(deep.value(1, 0.95), ref.value(1, 0.95));
+  EXPECT_EQ(deep.value(1, 0.0), deep.value(1, 0.899));
+
+  // A second trim accumulates more rows into the side store; everything
+  // above the deep keep-point must still match, through the batch paths too.
+  extend(deep, 1001, 2000);
+  extend(ref, 1001, 2000);
+  deep.trim_before(1.9, 0.5);
+  for (const double t : {0.5, 0.731, 0.9, 1.2504, 1.8999, 1.9, 1.95, 2.0}) {
+    EXPECT_EQ(deep.value(0, t), ref.value(0, t)) << "t=" << t;
+    EXPECT_EQ(deep.values(t, 0, 1)[0], ref.value(0, t)) << "t=" << t;
+  }
+  const std::vector<double> times = {0.55, 0.55, 1.89, 0.77, 1.95, 1.95};
+  std::vector<double> out(times.size());
+  deep.values_at(0, times, out);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(out[i], ref.value(0, times[i])) << "i=" << i;
+  }
+}
+
+/// The DelayedFeedback dynamics plus an undelayed integrator lane, with the
+/// delayed variable flagged for deep retention: trajectories must match the
+/// full-retention twin bit for bit even after the solver starts trimming
+/// rows at the (much shorter) max_row_delay horizon.
+class DeepDelayedFeedback final : public DdeSystem {
+ public:
+  DeepDelayedFeedback(double k, double tau, bool deep)
+      : k_(k), tau_(tau), deep_(deep) {}
+  std::size_t dim() const override { return 2; }
+  void rhs(double t, std::span<const double> x, const History& past,
+           std::span<double> dxdt) const override {
+    dxdt[0] = -k_ * past.value(0, t - tau_);
+    dxdt[1] = x[0];
+  }
+  double max_delay() const override { return tau_; }
+  double max_row_delay() const override { return deep_ ? 0.0 : tau_; }
+  std::pair<std::size_t, std::size_t> deep_vars() const override {
+    return {0, 1};
+  }
+
+ private:
+  double k_, tau_;
+  bool deep_;
+};
+
+TEST(DdeSolver, DeepRetentionTrajectoryBitIdentical) {
+  DeepDelayedFeedback full(100.0, 0.01, false);
+  DeepDelayedFeedback deep(100.0, 0.01, true);
+  DdeSolver sf(full, {1.0, 0.0}, 0.0, 1e-4);
+  DdeSolver sd(deep, {1.0, 0.0}, 0.0, 1e-4);
+  std::vector<double> traj_full, traj_deep;
+  const auto record = [](std::vector<double>& sink) {
+    return [&sink](double, std::span<const double> x) {
+      sink.push_back(x[0]);
+      sink.push_back(x[1]);
+    };
+  };
+  sf.run_until(2.0, record(traj_full), 1e-3);
+  sd.run_until(2.0, record(traj_deep), 1e-3);
+  ASSERT_EQ(traj_full.size(), traj_deep.size());
+  for (std::size_t i = 0; i < traj_full.size(); ++i) {
+    EXPECT_EQ(traj_full[i], traj_deep[i]) << "sample " << i;
+  }
+  EXPECT_EQ(sf.state()[0], sd.state()[0]);
+  EXPECT_EQ(sf.state()[1], sd.state()[1]);
+}
+
+TEST(DdeSolver, DeepRetentionSurvivesSaveRestore) {
+  // Snapshot taken after the solver has trimmed rows into the deep side
+  // store; the restored solver must continue bit-identically.
+  DeepDelayedFeedback deep(100.0, 0.01, true);
+  DdeSolver a(deep, {1.0, 0.0}, 0.0, 1e-4);
+  a.run_until(1.0, nullptr, 0.0);
+  std::stringstream snap;
+  a.save(snap);
+  DdeSolver b(deep, {0.0, 0.0}, 0.0, 1e-4);  // junk init, overwritten
+  b.restore(snap);
+  a.run_until(1.5, nullptr, 0.0);
+  b.run_until(1.5, nullptr, 0.0);
+  EXPECT_EQ(a.time(), b.time());
+  EXPECT_EQ(a.state()[0], b.state()[0]);
+  EXPECT_EQ(a.state()[1], b.state()[1]);
 }
 
 }  // namespace

@@ -67,5 +67,44 @@ TEST(TimelyPi, StateLayout) {
   EXPECT_DOUBLE_EQ(x0[m.gradient_index(2)], 0.0);
 }
 
+// 17-digit pins recorded from the pre-SoA (interleaved-layout) engine; see
+// the DCQCN/TIMELY twins for the rationale.
+
+TEST(DcqcnPi, GoldenTrajectoryPin) {
+  DcqcnFluidParams p;
+  p.num_flows = 3;
+  DcqcnPiFluidModel m(p, PiControllerParams{});
+  auto x0 = m.initial_state();
+  x0[m.rate_index(0)] = 0.7 * p.capacity_pps();
+  x0[m.rate_index(1)] = 0.2 * p.capacity_pps();
+  x0[m.rate_index(2)] = 0.1 * p.capacity_pps();
+  DdeSolver solver(m, std::move(x0), 0.0, m.suggested_dt());
+  solver.run_until(2e-3, nullptr, 0.0);
+  const auto x = solver.state();
+  EXPECT_EQ(solver.time(), 0.002);
+  EXPECT_EQ(x[m.queue_index()], 0.0);
+  EXPECT_EQ(x[m.rate_index(0)], 296353.77503120381);
+  EXPECT_EQ(x[m.rate_index(1)], 294144.70658862987);
+  EXPECT_EQ(x[m.rate_index(2)], 293781.58378362667);
+}
+
+TEST(TimelyPi, GoldenTrajectoryPin) {
+  TimelyFluidParams p = patched_timely_defaults();
+  p.num_flows = 3;
+  PatchedTimelyPiFluidModel m(p, TimelyPiParams{});
+  auto x0 = m.initial_state();
+  x0[m.rate_index(0)] = 0.6 * p.capacity_pps();
+  x0[m.rate_index(1)] = 0.3 * p.capacity_pps();
+  x0[m.rate_index(2)] = 0.1 * p.capacity_pps();
+  DdeSolver solver(m, std::move(x0), 0.0, m.suggested_dt());
+  solver.run_until(2e-3, nullptr, 0.0);
+  const auto x = solver.state();
+  EXPECT_EQ(solver.time(), 0.0020002499999999999);
+  EXPECT_EQ(x[m.queue_index()], 83.910326942139051);
+  EXPECT_EQ(x[m.rate_index(0)], 666036.63393310213);
+  EXPECT_EQ(x[m.rate_index(1)], 390525.48797280231);
+  EXPECT_EQ(x[m.rate_index(2)], 136630.46938313535);
+}
+
 }  // namespace
 }  // namespace ecnd::fluid

@@ -192,5 +192,65 @@ TEST(PatchedTimely, JitterDestabilizes) {
   EXPECT_GT(jitter_rate_std, 5.0 * clean_rate_std + 0.01);
 }
 
+// 17-digit pins recorded from the pre-SoA (interleaved-layout) engine: the
+// layout change, the shared measured-queue lens, the batched values_at()
+// gradient lookups, and the queue-only deep retention must all be
+// bit-neutral. See the DCQCN twin for the rationale.
+
+TEST(TimelyFluid, GoldenTrajectoryPin) {
+  TimelyFluidParams p;
+  p.num_flows = 3;
+  TimelyFluidModel m(p);
+  auto x0 = m.initial_state();
+  x0[m.rate_index(0)] = 0.6 * p.capacity_pps();
+  x0[m.rate_index(1)] = 0.3 * p.capacity_pps();
+  x0[m.rate_index(2)] = 0.1 * p.capacity_pps();
+  DdeSolver solver(m, std::move(x0), 0.0, m.suggested_dt());
+  solver.run_until(2e-3, nullptr, 0.0);
+  const auto x = solver.state();
+  EXPECT_EQ(solver.time(), 0.0020002499999999999);
+  EXPECT_EQ(x[m.queue_index()], 0.0);
+  EXPECT_EQ(x[m.rate_index(0)], 619527.95021995401);
+  EXPECT_EQ(x[m.rate_index(1)], 296765.4798687009);
+  EXPECT_EQ(x[m.rate_index(2)], 99650.896692885406);
+}
+
+TEST(PatchedTimely, GoldenTrajectoryPin) {
+  TimelyFluidParams p = patched_timely_defaults();
+  p.num_flows = 3;
+  PatchedTimelyFluidModel m(p);
+  auto x0 = m.initial_state();
+  x0[m.rate_index(0)] = 0.6 * p.capacity_pps();
+  x0[m.rate_index(1)] = 0.3 * p.capacity_pps();
+  x0[m.rate_index(2)] = 0.1 * p.capacity_pps();
+  DdeSolver solver(m, std::move(x0), 0.0, m.suggested_dt());
+  solver.run_until(2e-3, nullptr, 0.0);
+  const auto x = solver.state();
+  EXPECT_EQ(solver.time(), 0.0020002499999999999);
+  EXPECT_EQ(x[m.queue_index()], 133.11259810113373);
+  EXPECT_EQ(x[m.rate_index(0)], 737041.21487490111);
+  EXPECT_EQ(x[m.rate_index(1)], 383464.10061161377);
+  EXPECT_EQ(x[m.rate_index(2)], 132165.52683929729);
+}
+
+TEST(TimelyFluid, GoldenTrajectoryPinWithJitter) {
+  // Jitter exercises the measured-queue lens (the jitter draw enters both
+  // the lookup delay and the apparent queue) on both gradient samples.
+  TimelyFluidParams p;
+  p.num_flows = 2;
+  p.feedback_jitter = JitterProcess(20e-6, 10e-6, 42);
+  TimelyFluidModel m(p);
+  auto x0 = m.initial_state();
+  x0[m.rate_index(0)] = 0.7 * p.capacity_pps();
+  x0[m.rate_index(1)] = 0.3 * p.capacity_pps();
+  DdeSolver solver(m, std::move(x0), 0.0, m.suggested_dt());
+  solver.run_until(2e-3, nullptr, 0.0);
+  const auto x = solver.state();
+  EXPECT_EQ(solver.time(), 0.0020002499999999999);
+  EXPECT_EQ(x[m.queue_index()], 0.0);
+  EXPECT_EQ(x[m.rate_index(0)], 756321.2722689833);
+  EXPECT_EQ(x[m.rate_index(1)], 380861.3517757642);
+}
+
 }  // namespace
 }  // namespace ecnd::fluid
